@@ -1,0 +1,105 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``test_figNN_*.py`` file regenerates one table/figure of the paper's
+evaluation (see DESIGN.md section 3 for the experiment index). Results are
+accumulated in :data:`RESULTS` and written to ``benchmarks/results/*.json``
+plus printed as paper-style tables at session end (see ``conftest.py``).
+
+Sizes are scaled to this reproduction's substrate (a 1-core Python/NumPy
+host; see EXPERIMENTS.md) — the *relative* shapes are the reproduction
+target, not absolute times.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from typing import Dict
+
+import numpy as np
+
+from repro.autosched import CPU, GPU, auto_schedule
+from repro.baselines import Device
+from repro.runtime import build
+from repro.workloads import gat, longformer, softras, subdivnet
+
+#: experiment -> row -> column -> value
+RESULTS: Dict[str, Dict[str, Dict[str, object]]] = defaultdict(
+    lambda: defaultdict(dict))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+MODULES = {
+    "subdivnet": subdivnet,
+    "longformer": longformer,
+    "softras": softras,
+    "gat": gat,
+}
+
+#: evaluation sizes (scaled-down analogues of the paper's inputs)
+SIZES = {
+    "subdivnet": dict(n_faces=192, in_feats=8, out_feats=8),
+    "longformer": dict(seq_len=192, feat_len=16, w=8),
+    "softras": dict(n_faces=12, image_size=20),
+    "gat": dict(n_nodes=192, avg_degree=6, feats=8, out_feats=8),
+}
+
+#: smaller sizes for the (slow) reference-interpreter "Julia mode"
+TINY = {
+    "subdivnet": dict(n_faces=48, in_feats=4, out_feats=4),
+    "longformer": dict(seq_len=48, feat_len=8, w=4),
+    "softras": dict(n_faces=6, image_size=10),
+    "gat": dict(n_nodes=48, avg_degree=4, feats=4, out_feats=4),
+}
+
+#: which inputs each FreeTensor program takes
+GRAD_REQUIRES = {
+    "subdivnet": ["e", "w"],
+    "longformer": ["q", "k", "v"],
+    "softras": ["verts"],
+}
+
+
+def ft_args(name: str, data):
+    if name == "subdivnet":
+        return (data["adj"], data["e"], data["w"]), {}
+    if name == "longformer":
+        return (data["q"], data["k"], data["v"]), {"w": data["w"]}
+    if name == "softras":
+        return (data["verts"], data["px"]), {}
+    return (data["indptr"], data["indices"], data["h"], data["wmat"],
+            data["att_s"], data["att_d"]), {}
+
+
+def make_ft_exe(name: str, backend: str = "c", target=None, sizes=None,
+                optimize: bool = True):
+    """(executable, args, kwargs, data) for a workload's FT program."""
+    mod = MODULES[name]
+    data = mod.make_data(**(sizes or SIZES[name]))
+    prog = mod.make_program()
+    func = auto_schedule(prog, target=target or CPU) if optimize \
+        else prog.func
+    exe = build(func, backend=backend)
+    args, kwargs = ft_args(name, data)
+    return exe, args, kwargs, data
+
+
+def run_baseline_once(name: str, data, capacity=None,
+                      requires_grad=False):
+    mod = MODULES[name]
+    dev = Device(f"{name}-baseline", capacity_bytes=capacity)
+    if name == "gat":
+        out, leaves = mod.run_baseline(data, dev)
+    else:
+        out, leaves = mod.run_baseline(data, dev,
+                                       requires_grad=requires_grad)
+    return out, leaves, dev
+
+
+def record(experiment: str, row: str, column: str, value):
+    RESULTS[experiment][row][column] = value
+
+
+def verify(out, ref, rtol=1e-3, atol=1e-3):
+    np.testing.assert_allclose(np.asarray(out), ref, rtol=rtol, atol=atol)

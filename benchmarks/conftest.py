@@ -1,0 +1,46 @@
+"""Benchmark-session plumbing: collect per-experiment results and print
+paper-style tables (and persist them to ``benchmarks/results/``)."""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import RESULTS, RESULTS_DIR  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not RESULTS:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    report_lines = []
+    for exp in sorted(RESULTS):
+        rows = RESULTS[exp]
+        with open(os.path.join(RESULTS_DIR, f"{exp}.json"), "w") as f:
+            json.dump(rows, f, indent=2, default=str)
+        cols = sorted({c for r in rows.values() for c in r})
+        widths = [max(len("case"), *(len(r) for r in rows))]
+        widths += [max(len(c), 12) for c in cols]
+        header = "case".ljust(widths[0]) + "  " + "  ".join(
+            c.rjust(w) for c, w in zip(cols, widths[1:]))
+        report_lines.append(f"\n=== {exp} ===")
+        report_lines.append(header)
+        report_lines.append("-" * len(header))
+        for rname in rows:
+            cells = []
+            for c, w in zip(cols, widths[1:]):
+                v = rows[rname].get(c, "")
+                if isinstance(v, float):
+                    cell = f"{v:.4g}"
+                else:
+                    cell = str(v)
+                cells.append(cell.rjust(w))
+            report_lines.append(rname.ljust(widths[0]) + "  " +
+                                "  ".join(cells))
+    report = "\n".join(report_lines)
+    with open(os.path.join(RESULTS_DIR, "summary.txt"), "w") as f:
+        f.write(report + "\n")
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None:
+        tr.write_line(report)

@@ -1,0 +1,150 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a paper figure — these isolate the contribution of individual
+subsystems on this reproduction's substrate:
+
+- holistic optimisation: unscheduled vs auto-scheduled (the "Julia gap");
+- the vectorize lowering of the NumPy backend;
+- the native C backend vs the NumPy backend;
+- dependence-aware fusion (the Fig. 8 -> Fig. 10 example);
+- the Omega-test micro-cost (what a legality check costs the compiler).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from common import MODULES, TINY, ft_args, make_ft_exe, record
+
+import repro as ft
+from repro.autosched import CPU, auto_schedule
+from repro.runtime import build
+
+
+def test_backends_ladder(benchmark):
+    """interp -> pycode -> pycode+autosched -> C on one workload."""
+    name = "subdivnet"
+    mod = MODULES[name]
+    data = mod.make_data(**TINY[name])
+    args, kwargs = ft_args(name, data)
+    ref = mod.reference(data)
+
+    ladder = {
+        "interp_unsched": dict(backend="interp", optimize=False),
+        "numpy_unsched": dict(backend="pycode", optimize=False),
+        "numpy_autosched": dict(backend="pycode", optimize=True),
+        "c_autosched": dict(backend="c", optimize=True),
+    }
+    for tag, opts in ladder.items():
+        exe, a, k, _ = make_ft_exe(name, sizes=TINY[name], **opts)
+        out = exe(*a, **k)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-4)
+        t0 = time.perf_counter()
+        exe(*a, **k)
+        record("ablations", f"backend_ladder/{name}", tag,
+               time.perf_counter() - t0)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = __import__("common").RESULTS["ablations"][
+        f"backend_ladder/{name}"]
+    assert rows["c_autosched"] < rows["numpy_unsched"] \
+        < rows["interp_unsched"]
+
+
+def test_vectorize_lowering(benchmark):
+    """The NumPy backend's vectorize lowering (schedule -> np kernels)."""
+
+    @ft.transform
+    def saxpy(x: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[("n",), "f32", "input"]):
+        z = ft.empty(("n",), "f32")
+        ft.label("L")
+        for i in range(x.shape(0)):
+            z[i] = 2.5 * x[i] + y[i]
+        return z
+
+    n = 200_000
+    x = np.random.default_rng(0).standard_normal(n).astype(np.float32)
+    y = np.random.default_rng(1).standard_normal(n).astype(np.float32)
+
+    from repro.schedule import Schedule
+
+    plain = build(saxpy, backend="pycode")
+    s = Schedule(saxpy)
+    s.vectorize("L")
+    vec = build(s.func, backend="pycode")
+
+    np.testing.assert_allclose(vec(x, y), plain(x, y), rtol=1e-6)
+
+    t0 = time.perf_counter()
+    plain(x, y)
+    t_plain = time.perf_counter() - t0
+    out = benchmark(lambda: vec(x, y))
+    t_vec = benchmark.stats.stats.mean
+    record("ablations", "vectorize/saxpy", "scalar_s", t_plain)
+    record("ablations", "vectorize/saxpy", "vectorized_s", t_vec)
+    record("ablations", "vectorize/saxpy", "speedup", t_plain / t_vec)
+    assert t_vec < t_plain / 20  # NumPy kernels vs Python loops
+
+
+def test_fuse_locality(benchmark):
+    """Fusing the paper's Fig. 8 loops improves locality (Fig. 10)."""
+
+    @ft.transform
+    def two_pass(x: ft.Tensor[("n",), "f32", "input"]):
+        a = ft.empty(("n",), "f32")
+        ft.label("L1")
+        for i in range(x.shape(0)):
+            a[i] = x[i] * 2.0
+        y = ft.empty(("n",), "f32")
+        ft.label("L2")
+        for j in range(x.shape(0)):
+            y[j] = a[j] + 1.0
+        return y
+
+    from repro.schedule import Schedule
+
+    n = 1 << 23  # 32 MiB: the intermediate must round-trip DRAM
+    x = np.random.default_rng(0).standard_normal(n).astype(np.float32)
+
+    unfused = build(two_pass, backend="c")
+    s = Schedule(two_pass)
+    s.fuse("L1", "L2")
+    fused = build(s.func, backend="c")
+    np.testing.assert_allclose(fused(x), unfused(x), rtol=1e-6)
+
+    t0 = time.perf_counter()
+    for _ in range(5):
+        unfused(x)
+    t_unfused = (time.perf_counter() - t0) / 5
+    out = benchmark(lambda: fused(x))
+    t_fused = benchmark.stats.stats.mean
+    record("ablations", "fuse/two_pass", "unfused_s", t_unfused)
+    record("ablations", "fuse/two_pass", "fused_s", t_fused)
+    record("ablations", "fuse/two_pass", "speedup",
+           t_unfused / t_fused)
+    assert t_fused < 1.2 * t_unfused  # never worse; usually better
+
+
+def test_omega_cost(benchmark):
+    """Cost of one exact dependence query (compiler-side overhead)."""
+    from repro.analysis import DirItem, analyze
+    from repro.ir import For, collect_stmts
+
+    @ft.transform
+    def stencil(x: ft.Tensor[("n", "m"), "f32", "inout"]):
+        for i in range(1, x.shape(0) - 1):
+            for j in range(1, x.shape(1) - 1):
+                x[i + 1, j] = x[i - 1, j + 1] * 2.0 + x[i - 1, j - 1]
+
+    li = collect_stmts(stencil.func.body,
+                       lambda s: isinstance(s, For))[0]
+
+    def one_query():
+        d = analyze(stencil.func)
+        return d.has_dep(direction=[DirItem.same_loop(li.sid, ">")])
+
+    assert benchmark(one_query) is True
+    record("ablations", "omega/stencil_query", "seconds",
+           benchmark.stats.stats.mean)
+    assert benchmark.stats.stats.mean < 0.5  # cheap enough to spam

@@ -1,0 +1,55 @@
+"""GAT: a graph-attention layer on a random graph.
+
+Compares the free-form CSR implementation (one fused traversal) against
+a DGL-style message-passing pipeline (gather / segment-softmax / scatter,
+one whole-edge-set kernel per step), as in the paper's GAT experiment.
+
+Run:  python examples/gat_graph_attention.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.autosched import CPU, auto_schedule
+from repro.baselines import Device
+from repro.runtime import build
+from repro.workloads import gat
+
+
+def main():
+    data = gat.make_data(n_nodes=512, avg_degree=8, feats=16,
+                         out_feats=16)
+    ref = gat.reference(data)
+    args = (data["indptr"], data["indices"], data["h"], data["wmat"],
+            data["att_s"], data["att_d"])
+
+    func = auto_schedule(gat.make_program(), target=CPU)
+    exe = build(func, backend="c")
+    out = exe(*args)
+    assert np.allclose(out, ref, rtol=1e-3, atol=1e-4)
+    t0 = time.perf_counter()
+    for _ in range(5):
+        exe(*args)
+    ft_time = (time.perf_counter() - t0) / 5
+
+    dev = Device("dgl-style")
+    out_b, _ = gat.run_baseline(data, dev)
+    assert np.allclose(out_b.numpy(), ref, rtol=1e-3, atol=1e-4)
+    t0 = time.perf_counter()
+    for _ in range(5):
+        gat.run_baseline(data, Device("t"))
+    base_time = (time.perf_counter() - t0) / 5
+
+    n_edges = len(data["indices"])
+    print(f"graph: {data['h'].shape[0]} nodes, {n_edges} edges")
+    print(f"FreeTensor fused traversal (C): {ft_time * 1e3:8.2f} ms")
+    print(f"message-passing baseline:       {base_time * 1e3:8.2f} ms "
+          f"({dev.kernels} kernels)")
+    print("\nthe baseline materialises per-edge score/alpha/message "
+          "tensors;\nthe free-form version keeps them in per-node "
+          "scratch (paper section 6.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — a from-scratch Python reproduction of *FreeTensor: A Free-Form
+DSL with Holistic Optimizations for Irregular Tensor Programs* (PLDI 2022).
+
+Quickstart::
+
+    import numpy as np
+    import repro as ft
+
+    @ft.transform
+    def add(a: ft.Tensor[("n",), "f32", "input"],
+            b: ft.Tensor[("n",), "f32", "input"]):
+        y = ft.empty(a.shape(0), "f32")
+        for i in range(a.shape(0)):
+            y[i] = a[i] + b[i]
+        return y
+
+    print(add(np.ones(4, np.float32), np.ones(4, np.float32)))
+
+See README.md for the architecture overview and DESIGN.md for how this
+reproduction maps onto the paper.
+"""
+
+import sys as _sys
+
+# Deeply-nested staged programs (partial evaluation of recursion, unrolled
+# loops) exceed CPython's default recursion limit.
+if _sys.getrecursionlimit() < 20000:
+    _sys.setrecursionlimit(20000)
+
+from .errors import (ADError, BackendError, DependenceViolation,
+                     FreeTensorError, InvalidProgram, InvalidSchedule,
+                     SimulatedOOM, StagingError)
+from .frontend import (Program, Size, Tensor, TensorRef, capture, create_var,
+                       empty, inline, label, ones, transform, zeros)
+from .frontend.tensor import (ceil, cos, erf, exp, floor, log, sigmoid, sin,
+                              sqrt, tan, tanh)
+from .frontend.tensor import ft_abs as abs  # noqa: A001 - mirrors paper DSL
+from .frontend.tensor import ft_max as max  # noqa: A001
+from .frontend.tensor import ft_min as min  # noqa: A001
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADError", "BackendError", "DependenceViolation", "FreeTensorError",
+    "InvalidProgram", "InvalidSchedule", "SimulatedOOM", "StagingError",
+    "Program", "Size", "Tensor", "TensorRef", "capture", "create_var",
+    "empty", "inline", "label", "ones", "transform", "zeros",
+    "ceil", "cos", "erf", "exp", "floor", "log", "sigmoid", "sin", "sqrt",
+    "tan", "tanh", "abs", "max", "min",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Heavier subsystems load lazily so `import repro` stays fast.
+    if name == "libop":
+        import importlib
+
+        return importlib.import_module(".libop", __name__)
+    if name == "Schedule":
+        from .schedule.schedule import Schedule
+
+        return Schedule
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

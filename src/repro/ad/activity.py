@@ -1,0 +1,66 @@
+"""Activity analysis: which tensors carry gradient from the inputs being
+differentiated (``requires``) to the outputs differentiated against
+(``provides``).
+
+A tensor is *active* when it is (transitively) influenced by a required
+input AND influences a provided output through float dataflow. Adjoint
+statements are only generated for active tensors, which keeps the backward
+pass free of dead zero-gradient arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..ir import (Func, LibCall, ReduceTo, Store, VarDef, collect_stmts)
+from ..ir import expr as E
+
+
+def _float_dataflow_edges(func: Func):
+    """Edges src -> dst: a float value of ``src`` flows into ``dst``."""
+    defs = {d.name: d
+            for d in collect_stmts(func.body,
+                                   lambda s: isinstance(s, VarDef))}
+    edges = []
+    for s in collect_stmts(func.body,
+                           lambda s: isinstance(s, (Store, ReduceTo,
+                                                    LibCall))):
+        if isinstance(s, LibCall):
+            for o in s.outs:
+                for a in s.args:
+                    edges.append((a, o))
+            continue
+        dst = s.var
+        if dst in defs and not defs[dst].dtype.is_float:
+            continue
+        for l in E.all_reads(s.expr):
+            if l.dtype.is_float:
+                edges.append((l.var, dst))
+    return edges
+
+
+def _closure(starts: Set[str], edges, forward: bool) -> Set[str]:
+    adj: Dict[str, list] = {}
+    for a, b in edges:
+        if forward:
+            adj.setdefault(a, []).append(b)
+        else:
+            adj.setdefault(b, []).append(a)
+    seen = set(starts)
+    frontier = list(starts)
+    while frontier:
+        x = frontier.pop()
+        for y in adj.get(x, ()):
+            if y not in seen:
+                seen.add(y)
+                frontier.append(y)
+    return seen
+
+
+def active_tensors(func: Func, requires: Iterable[str],
+                   provides: Iterable[str]) -> Set[str]:
+    """Tensors on a differentiable path from requires to provides."""
+    edges = _float_dataflow_edges(func)
+    fwd = _closure(set(requires), edges, forward=True)
+    bwd = _closure(set(provides), edges, forward=False)
+    return fwd & bwd

@@ -1,0 +1,141 @@
+"""Symbolic derivative rules for IR expressions.
+
+``grad_contributions(f, adj)`` walks an expression tree and returns, for
+every float Load inside it, the adjoint contribution
+``∂f/∂load * adj`` as a symbolic expression. The returned expressions
+reference *forward* tensor names; the grad transformation rewrites them to
+taped / recomputed values afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ADError
+from ..ir import (Cast, Expr, FloatConst, IfExpr, Load, makeIfExpr,
+                  makeIntrinsic, wrap)
+from ..ir import expr as E
+
+Contribution = Tuple[Load, Expr]
+
+
+def grad_contributions(f: Expr, adj: Expr,
+                       is_active: Optional[Callable[[Load], bool]] = None
+                       ) -> List[Contribution]:
+    """Adjoint contributions of every active float Load in ``f``."""
+    out: List[Contribution] = []
+    _walk(f, adj, out, is_active or (lambda _l: True))
+    return out
+
+
+def _walk(e: Expr, adj: Expr, out: List[Contribution], is_active):
+    if not e.dtype.is_float:
+        return  # integer/bool subtrees carry no gradient
+    if isinstance(e, E.Const):
+        return
+    if isinstance(e, Load):
+        if is_active(e):
+            out.append((e, adj))
+        return
+    if isinstance(e, E.Add):
+        _walk(e.lhs, adj, out, is_active)
+        _walk(e.rhs, adj, out, is_active)
+        return
+    if isinstance(e, E.Sub):
+        _walk(e.lhs, adj, out, is_active)
+        _walk(e.rhs, -adj, out, is_active)
+        return
+    if isinstance(e, E.Mul):
+        _walk(e.lhs, adj * e.rhs, out, is_active)
+        _walk(e.rhs, adj * e.lhs, out, is_active)
+        return
+    if isinstance(e, E.RealDiv):
+        _walk(e.lhs, adj / e.rhs, out, is_active)
+        _walk(e.rhs, -(adj * e.lhs) / (e.rhs * e.rhs), out, is_active)
+        return
+    if isinstance(e, (E.Min, E.Max)):
+        # subgradient: route to the winning operand (ties -> lhs)
+        win_l = (e.lhs <= e.rhs) if isinstance(e, E.Min) else \
+            (e.lhs >= e.rhs)
+        _walk(e.lhs, makeIfExpr(win_l, adj, _zero(adj)), out, is_active)
+        _walk(e.rhs, makeIfExpr(win_l, _zero(adj), adj), out, is_active)
+        return
+    if isinstance(e, IfExpr):
+        _walk(e.then_case, makeIfExpr(e.cond, adj, _zero(adj)), out,
+              is_active)
+        _walk(e.else_case, makeIfExpr(e.cond, _zero(adj), adj), out,
+              is_active)
+        return
+    if isinstance(e, Cast):
+        if e.operand.dtype.is_float:
+            _walk(e.operand, adj, out, is_active)
+        return
+    if isinstance(e, E.Intrinsic):
+        _walk_intrinsic(e, adj, out, is_active)
+        return
+    if isinstance(e, (E.FloorDiv, E.Mod)):
+        return  # piecewise-constant
+    raise ADError(f"cannot differentiate {type(e).__name__}")
+
+
+def _zero(adj: Expr) -> Expr:
+    from ..ir import wrap_like
+
+    return wrap_like(0, adj.dtype)
+
+
+def _walk_intrinsic(e: E.Intrinsic, adj, out, is_active):
+    name = e.name
+    x = e.args[0] if e.args else None
+    I = lambda n, args: makeIntrinsic(n, args, e.dtype)
+    if name == "abs":
+        _walk(x, makeIfExpr(x >= _zero(adj), adj, -adj), out, is_active)
+    elif name == "sqrt":
+        _walk(x, adj / (2.0 * I("sqrt", [x])), out, is_active)
+    elif name == "exp":
+        _walk(x, adj * I("exp", [x]), out, is_active)
+    elif name == "log":
+        _walk(x, adj / x, out, is_active)
+    elif name == "sin":
+        _walk(x, adj * I("cos", [x]), out, is_active)
+    elif name == "cos":
+        _walk(x, -(adj * I("sin", [x])), out, is_active)
+    elif name == "tan":
+        c = I("cos", [x])
+        _walk(x, adj / (c * c), out, is_active)
+    elif name == "tanh":
+        t = I("tanh", [x])
+        _walk(x, adj * (1.0 - t * t), out, is_active)
+    elif name == "sigmoid":
+        s = I("sigmoid", [x])
+        _walk(x, adj * s * (1.0 - s), out, is_active)
+    elif name == "erf":
+        two_over_sqrt_pi = 1.1283791670955126
+        _walk(x, adj * two_over_sqrt_pi * I("exp", [-(x * x)]), out,
+              is_active)
+    elif name in ("floor", "ceil"):
+        pass  # piecewise-constant
+    elif name == "pow":
+        a, b = e.args
+        _walk(a, adj * b * I("pow", [a, b - 1.0]), out, is_active)
+        if b.dtype.is_float and not isinstance(b, E.Const):
+            _walk(b, adj * I("pow", [a, b]) * I("log", [a]), out,
+                  is_active)
+    elif name in ("unbound_min", "unbound_max"):
+        raise ADError(f"cannot differentiate intrinsic {name!r}")
+    else:  # pragma: no cover - exhaustive over INTRINSICS
+        raise ADError(f"no derivative rule for intrinsic {name!r}")
+
+
+def value_dependencies(f: Expr) -> set:
+    """Names of tensors whose forward values the adjoint of ``f`` needs."""
+    names = set()
+    for _load, contrib in grad_contributions(f, FloatConst(1.0)):
+        for l in E.all_reads(contrib):
+            names.add(l.var)
+        # index expressions of the contribution target also need values
+    for l in E.all_reads(f):
+        for idx in l.indices:
+            for il in E.all_reads(idx):
+                names.add(il.var)
+    return names

@@ -1,0 +1,600 @@
+"""Reverse-mode automatic differentiation as an IR-to-IR transformation
+(paper section 5).
+
+``grad(func, requires, provides, tapes)`` produces:
+
+- a **forward** function: the original computation plus *tape* stores that
+  materialise selected intermediate tensors, one version per scope
+  instance (symbolic version numbers, paper 5.1), returned as extra
+  outputs;
+- a **backward** function: the statement-reversed adjoint program. Loops
+  run in reverse iteration order, gradients accumulate through ReduceTo
+  nodes (so the result is itself schedulable/parallelisable — Fig. 13),
+  and forward values referenced by adjoints come either from tapes or from
+  recomputation slices inserted at the original scopes (paper 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ADError
+from ..ir import (AccessType, Assert, Eval, Expr, For, Func, If, IntConst,
+                  LibCall, Load, Mutator, ReduceTo, Stmt, StmtSeq, Store,
+                  Var, VarDef, all_vars, collect_stmts, defined_tensors,
+                  fresh_name, map_exprs, seq, substitute, used_names, wrap,
+                  wrap_like)
+from ..ir import expr as E
+from .activity import active_tensors
+from .derivatives import grad_contributions, value_dependencies
+from .tape_select import Materialization, choose_materialization
+
+
+class GradProgram:
+    """The result of differentiation: forward and backward Funcs plus the
+    calling-convention metadata that binds them together."""
+
+    def __init__(self, fwd: Func, bwd: Func, requires, provides,
+                 tape_names, used_outputs, input_grads, output_grads,
+                 materialization: Materialization):
+        self.fwd = fwd
+        self.bwd = bwd
+        self.requires = list(requires)
+        self.provides = list(provides)
+        #: tape tensors appended to the forward outputs, in order
+        self.tape_names = list(tape_names)
+        #: forward outputs whose values the backward pass reads
+        self.used_outputs = list(used_outputs)
+        #: map input name -> its gradient (backward output)
+        self.input_grads = dict(input_grads)
+        #: map output name -> its gradient (backward input)
+        self.output_grads = dict(output_grads)
+        self.materialization = materialization
+
+    def __repr__(self):  # pragma: no cover
+        return (f"<GradProgram fwd={self.fwd.name} bwd={self.bwd.name} "
+                f"tapes={self.tape_names}>")
+
+
+def grad(program_or_func, requires=None, provides=None,
+         tapes="selective") -> GradProgram:
+    """Differentiate a program.
+
+    ``requires``: input tensors to compute gradients for (default: all
+    float inputs). ``provides``: outputs to differentiate against
+    (default: all float outputs). ``tapes``: ``"selective"`` (cost-based,
+    the paper's default), ``"all"``, ``"none"``, or an explicit list of
+    tensor names to materialise.
+    """
+    from ..frontend.staging import Program
+    from ..passes import lower
+
+    func = program_or_func.func if isinstance(program_or_func, Program) \
+        else program_or_func
+    func = lower(func)
+    return _GradBuilder(func, requires, provides, tapes).build()
+
+
+# ---------------------------------------------------------------------------
+
+
+class _GradBuilder:
+
+    def __init__(self, func: Func, requires, provides, tapes_policy):
+        self.func = func
+        self.defs = defined_tensors(func.body)
+        inputs = [p for p in func.params
+                  if self.defs[p].atype is AccessType.INPUT]
+        outputs = func.interface_tensors()
+        outputs = [o for o in outputs
+                   if self.defs[o].atype in (AccessType.OUTPUT,
+                                             AccessType.INOUT)]
+        self.inputs = inputs
+        self.outputs = outputs
+        self.requires = list(requires) if requires is not None else [
+            p for p in inputs if self.defs[p].dtype.is_float
+        ]
+        self.provides = list(provides) if provides is not None else [
+            o for o in outputs if self.defs[o].dtype.is_float
+        ]
+        for r in self.requires:
+            if r not in self.defs or not self.defs[r].atype.is_input:
+                raise ADError(f"requires target {r!r} is not an input")
+        for p in self.provides:
+            if p not in self.defs:
+                raise ADError(f"provides target {p!r} is not an output")
+        self.tapes_policy = tapes_policy
+
+        self.active = active_tensors(func, self.requires, self.provides)
+        #: per cache tensor: iterator names of loops enclosing its VarDef
+        self.scope_loops: Dict[str, List[For]] = {}
+        self.scope_bodies: Dict[str, Stmt] = {}
+        self._collect_scopes()
+
+        taken = used_names(func)
+        self.grad_name: Dict[str, str] = {}
+        self.tape_name: Dict[str, str] = {}
+        for t in sorted(self.active | set(self.requires)
+                        | set(self.provides)):
+            self.grad_name[t] = fresh_name(t + ".grad", taken)
+            taken.add(self.grad_name[t])
+        self._taken = taken
+
+    # -- scope info -----------------------------------------------------------
+    def _collect_scopes(self):
+        self.enclosing: Dict[str, Set[str]] = {}
+
+        def walk(s: Stmt, loops: List[For], defs: List[str]):
+            if isinstance(s, VarDef):
+                self.scope_loops[s.name] = list(loops)
+                self.scope_bodies[s.name] = s.body
+                self.enclosing[s.name] = set(defs)
+                walk(s.body, loops, defs + [s.name])
+                return
+            if isinstance(s, For):
+                walk(s.body, loops + [s], defs)
+                return
+            for c in s.children_stmts():
+                walk(c, loops, defs)
+
+        walk(self.func.body, [], [])
+
+    # -- needed-forward-values scan --------------------------------------------
+    def _scan_needed(self) -> Tuple[Set[str], Set[str]]:
+        needed: Set[str] = set()
+        force_tape: Set[str] = set()
+
+        def add_expr_loads(e):
+            for l in E.all_reads(e):
+                needed.add(l.var)
+
+        for s in collect_stmts(self.func.body, lambda _s: True):
+            if isinstance(s, (Store, ReduceTo)) and s.var in self.active:
+                needed.update(value_dependencies(s.expr))
+                for idx in s.indices:
+                    add_expr_loads(idx)
+                if isinstance(s, ReduceTo) and s.op in ("min", "max"):
+                    add_expr_loads(s.expr)
+                    needed.add(s.var)
+                    if self.defs[s.var].atype is AccessType.CACHE:
+                        force_tape.add(s.var)
+                if isinstance(s, ReduceTo) and s.op == "*":
+                    raise ADError(
+                        "cannot differentiate a '*=' reduction")
+            if isinstance(s, (If, Assert)):
+                add_expr_loads(s.cond)
+            if isinstance(s, For):
+                add_expr_loads(s.begin)
+                add_expr_loads(s.end)
+            if isinstance(s, LibCall):
+                if any(o in self.active for o in s.outs):
+                    needed.update(s.args)
+        cache_needed = {
+            t for t in needed
+            if t in self.defs and self.defs[t].atype is AccessType.CACHE
+        }
+        return cache_needed, force_tape, needed
+
+    # -- versioning check (paper 5.1) ------------------------------------------
+    def _check_single_version(self, tensors: Set[str]):
+        """The available value is the scope-final value; a tensor whose
+        value is read and then overwritten within one scope instance has
+        several live versions, which this implementation rejects (the
+        symbolic version count would need an extra dimension per WAR
+        dependence, paper 5.1)."""
+        from ..analysis import DepAnalyzer, DirItem
+
+        analyzer = DepAnalyzer(self.func)
+        for t in sorted(tensors):
+            scope = self.scope_loops.get(t, [])
+            direction = [DirItem.same_loop(l.sid, "=") for l in scope]
+            deps = analyzer.find(tensors=[t], direction=direction)
+            for d in deps:
+                if d.kind == "WAR" and d.earlier.stmt.sid != \
+                        d.later.stmt.sid:
+                    raise ADError(
+                        f"tensor {t!r} has multiple live versions per "
+                        f"iteration (WAR {d.earlier.stmt.sid} -> "
+                        f"{d.later.stmt.sid}); restructure the program "
+                        f"or exclude it from differentiation")
+
+    # -- main -----------------------------------------------------------------
+    def build(self) -> GradProgram:
+        needed, force_tape, all_needed = self._scan_needed()
+        available = set(self.inputs) | set(self.outputs) | \
+            set(self.func.scalar_params)
+        mat = choose_materialization(self.func, needed, self.scope_bodies,
+                                     available, self.tapes_policy,
+                                     force_tape, enclosing=self.enclosing)
+        used_out_values = {
+            t for t in all_needed
+            if t in self.defs and self.defs[t].atype in
+            (AccessType.OUTPUT, AccessType.INOUT)
+        }
+        self._check_single_version(mat.tape | mat.recompute
+                                   | used_out_values)
+        self.mat = mat
+        for t in sorted(mat.tape):
+            self.tape_name[t] = fresh_name(t + ".tape", self._taken)
+            self._taken.add(self.tape_name[t])
+            self._check_tape_shape(t)
+
+        fwd = self._build_fwd()
+        bwd = self._build_bwd()
+        used_outputs = self._used_outputs(bwd)
+        bwd = self._wrap_bwd_params(bwd, used_outputs)
+
+        from ..passes import lower
+
+        return GradProgram(
+            fwd=lower(fwd),
+            bwd=lower(bwd),
+            requires=self.requires,
+            provides=self.provides,
+            tape_names=[self.tape_name[t] for t in sorted(mat.tape)],
+            used_outputs=used_outputs,
+            input_grads={x: self.grad_name[x] for x in self.requires},
+            output_grads={y: self.grad_name[y] + ".in"
+                          for y in self.provides},
+            materialization=mat,
+        )
+
+    # -- tape helpers ------------------------------------------------------------
+    def _check_tape_shape(self, t: str):
+        ok_vars = set(self.func.scalar_params)
+        for d in self.defs[t].shape:
+            for v in all_vars(d):
+                if v not in ok_vars:
+                    raise ADError(
+                        f"cannot tape {t!r}: its shape depends on loop "
+                        f"iterators")
+        for loop in self.scope_loops[t]:
+            for v in list(all_vars(loop.begin)) + list(all_vars(loop.end)):
+                if v not in ok_vars:
+                    raise ADError(
+                        f"cannot tape {t!r}: version count depends on "
+                        f"loop iterator {v!r} (non-rectangular nest)")
+
+    def _tape_dims(self, t: str) -> List[Expr]:
+        return [l.len for l in self.scope_loops[t]]
+
+    def _tape_version_index(self, t: str) -> List[Expr]:
+        return [Var(l.iter_var) - l.begin for l in self.scope_loops[t]]
+
+    def _tape_load(self, orig: Load, idx: List[Expr]) -> Expr:
+        t = orig.var
+        return Load(self.tape_name[t],
+                    self._tape_version_index(t) + list(idx), orig.dtype)
+
+    # -- availability rewriting ---------------------------------------------------
+    def _avail(self, e: Expr) -> Expr:
+        """Rewrite forward-value loads to their backward-available form."""
+
+        def rw(x):
+            if isinstance(x, Load):
+                idx = [self._avail(i) for i in x.indices]
+                d = self.defs.get(x.var)
+                if d is None or d.atype is not AccessType.CACHE:
+                    return Load(x.var, idx, x.dtype)
+                if x.var in self.mat.tape:
+                    return self._tape_load(x, idx)
+                if x.var in self.mat.recompute:
+                    return Load(x.var, idx, x.dtype)
+                raise ADError(
+                    f"forward value of {x.var!r} is needed by the "
+                    f"backward pass but was not materialised")
+            return None
+
+        return map_exprs(e, rw)
+
+    def _avail_stmt(self, s: Stmt) -> Stmt:
+        """Availability-rewrite every expression in a statement tree."""
+        return map_exprs(s, lambda e: self._avail(e)
+                         if isinstance(e, Load) else None)
+
+    # -- forward construction ----------------------------------------------------
+    def _build_fwd(self) -> Func:
+        builder = self
+
+        class AddTapes(Mutator):
+
+            def mutate_VarDef(self, s: VarDef):
+                out = self.generic_mutate_stmt(s)
+                if s.name not in builder.tape_name:
+                    return out
+                copy = builder._tape_store_loops(s)
+                nd = VarDef(out.name, out.shape, out.dtype, out.atype,
+                            out.mtype, seq([out.body, copy]), out.pinned)
+                nd.sid, nd.label, nd.init_data = out.sid, out.label, \
+                    out.init_data
+                return nd
+
+        body = AddTapes()(self.func.body)
+        for t in sorted(self.mat.tape, reverse=True):
+            d = self.defs[t]
+            body = VarDef(self.tape_name[t],
+                          self._tape_dims(t) + list(d.shape), d.dtype,
+                          "output", d.mtype, body)
+        returns = list(self.func.returns) + \
+            [self.tape_name[t] for t in sorted(self.mat.tape)]
+        return Func(self.func.name + ".fwd", list(self.func.params),
+                    returns, body, list(self.func.scalar_params))
+
+    def _tape_store_loops(self, vd: VarDef) -> Stmt:
+        """``tape[versions..., i...] = t[i...]`` at the end of t's scope."""
+        iters = []
+        for k in range(vd.ndim):
+            it = fresh_name(f"i.tp{k}", self._taken)
+            self._taken.add(it)
+            iters.append(it)
+        ivs = [Var(i) for i in iters]
+        body: Stmt = Store(self.tape_name[vd.name],
+                           self._tape_version_index(vd.name) + ivs,
+                           Load(vd.name, ivs, vd.dtype))
+        for it, size in zip(reversed(iters), reversed(vd.shape)):
+            body = For(it, 0, size, body)
+        return body
+
+    # -- backward construction ------------------------------------------------
+    def _build_bwd(self) -> Func:
+        return Func(self.func.name + ".bwd", [], [],
+                    self._bwd_of(self.func.body),
+                    list(self.func.scalar_params))
+
+    def _bwd_of(self, s: Stmt) -> Stmt:
+        if isinstance(s, StmtSeq):
+            return seq([self._bwd_of(c) for c in reversed(s.stmts)])
+        if isinstance(s, VarDef):
+            return self._bwd_vardef(s)
+        if isinstance(s, For):
+            inner = self._bwd_of(s.body)
+            it2 = fresh_name(s.iter_var + ".r", self._taken)
+            self._taken.add(it2)
+            # reversed iteration: i = begin + end - 1 - i2
+            inner = substitute(inner,
+                               {s.iter_var: s.begin + s.end - 1 - Var(it2)})
+            return For(it2, s.begin, s.end, inner)
+        if isinstance(s, If):
+            then_b = self._bwd_of(s.then_case)
+            else_b = self._bwd_of(s.else_case) \
+                if s.else_case is not None else None
+            return If(self._avail(s.cond), then_b, else_b)
+        if isinstance(s, Assert):
+            return Assert(self._avail(s.cond), self._bwd_of(s.body))
+        if isinstance(s, Store):
+            return self._bwd_store(s)
+        if isinstance(s, ReduceTo):
+            return self._bwd_reduce(s)
+        if isinstance(s, LibCall):
+            return self._bwd_libcall(s)
+        if isinstance(s, (Eval, StmtSeq)):
+            return StmtSeq([])
+        from ..ir import Alloc, Free
+
+        if isinstance(s, (Alloc, Free)):
+            return StmtSeq([])
+        raise ADError(
+            f"cannot differentiate statement {type(s).__name__}")
+
+    def _bwd_vardef(self, s: VarDef) -> Stmt:
+        inner = self._bwd_of(s.body)
+        if s.atype is not AccessType.CACHE:
+            return inner  # parameters are re-declared by the wrapper
+        parts: List[Stmt] = []
+        if s.name in self.mat.recompute:
+            # the slice may read taped tensors: route those loads through
+            # their tapes
+            parts.append(self._avail_stmt(self.mat.slices[s.name]))
+        parts.append(inner)
+        out = seq(parts)
+        if s.name in self.active:
+            gname = self.grad_name[s.name]
+            out = VarDef(gname, s.shape, s.dtype, "cache", s.mtype,
+                         seq([self._zero_fill(gname, s.shape, s.dtype),
+                              out]))
+        if s.name in self.mat.recompute:
+            out = VarDef(s.name, s.shape, s.dtype, "cache", s.mtype, out)
+        return out
+
+    def _zero_fill(self, name: str, shape, dtype) -> Stmt:
+        iters = []
+        for k in range(len(shape)):
+            it = fresh_name(f"i.z{k}", self._taken)
+            self._taken.add(it)
+            iters.append(it)
+        body: Stmt = Store(name, [Var(i) for i in iters],
+                           wrap_like(0, dtype))
+        for it, size in zip(reversed(iters), reversed(shape)):
+            body = For(it, 0, size, body)
+        return body
+
+    def _is_active_load(self, load: Load) -> bool:
+        return load.var in self.active and load.dtype.is_float
+
+    def _adjoint_of_target(self, s) -> Optional[Expr]:
+        if s.var not in self.active:
+            return None
+        idx = [self._avail(i) for i in s.indices]
+        return Load(self.grad_name[s.var], idx, self.defs[s.var].dtype)
+
+    def _contributions(self, expr: Expr, adj: Expr) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        for load, contrib in grad_contributions(expr, adj,
+                                                self._is_active_load):
+            target = self.grad_name[load.var]
+            idx = [self._avail(i) for i in load.indices]
+            stmts.append(ReduceTo(target, idx, "+", self._avail(contrib)))
+        return stmts
+
+    def _bwd_store(self, s: Store) -> Stmt:
+        adj = self._adjoint_of_target(s)
+        if adj is None:
+            return StmtSeq([])
+        stmts = self._contributions(s.expr, adj)
+        # the overwritten previous value is dead: reset its adjoint
+        stmts.append(Store(self.grad_name[s.var],
+                           [self._avail(i) for i in s.indices],
+                           wrap_like(0, self.defs[s.var].dtype)))
+        return seq(stmts)
+
+    def _bwd_reduce(self, s: ReduceTo) -> Stmt:
+        adj = self._adjoint_of_target(s)
+        if adj is None:
+            return StmtSeq([])
+        if s.op == "+":
+            return seq(self._contributions(s.expr, adj))
+        if s.op in ("min", "max"):
+            # gradient flows to the winning contribution (final value
+            # needed: forced onto the tape or available as an output)
+            final = Load(s.var, list(s.indices), self.defs[s.var].dtype)
+            f_avail = self._avail(s.expr)
+            mask = E.makeCmp(E.EQ, f_avail, self._avail(final))
+            masked = E.makeIfExpr(mask, adj, wrap_like(0, adj.dtype))
+            return seq(self._contributions(s.expr, masked))
+        raise ADError(f"cannot differentiate '{s.op}=' reduction")
+
+    def _bwd_libcall(self, s: LibCall) -> Stmt:
+        if s.kind == "fill":
+            out = s.outs[0]
+            if out not in self.active:
+                return StmtSeq([])
+            d = self.defs[out]
+            return self._zero_fill(self.grad_name[out], d.shape, d.dtype)
+        if s.kind == "copy":
+            out, src = s.outs[0], s.args[0]
+            if out not in self.active:
+                return StmtSeq([])
+            parts: List[Stmt] = []
+            d = self.defs[out]
+            if src in self.active:
+                parts.append(
+                    self._accumulate_tensor(self.grad_name[out],
+                                            self.grad_name[src], d))
+            parts.append(self._zero_fill(self.grad_name[out], d.shape,
+                                         d.dtype))
+            return seq(parts)
+        if s.kind != "matmul":
+            raise ADError(f"cannot differentiate library call {s.kind!r}")
+        c = s.outs[0]
+        a, b = s.args
+        if c not in self.active:
+            return StmtSeq([])
+        parts: List[Stmt] = []
+        ta = s.attrs.get("trans_a", False)
+        tb = s.attrs.get("trans_b", False)
+        if ta or tb:
+            raise ADError("AD of transposed matmul LibCalls is not "
+                          "supported; apply as_lib after grad instead")
+        a_val = self._value_tensor_name(a)
+        b_val = self._value_tensor_name(b)
+        if a in self.active:
+            parts.append(
+                LibCall("matmul", [self.grad_name[a]],
+                        [self.grad_name[c], b_val],
+                        {"accumulate": True, "trans_b": True}))
+        if b in self.active:
+            parts.append(
+                LibCall("matmul", [self.grad_name[b]],
+                        [a_val, self.grad_name[c]],
+                        {"accumulate": True, "trans_a": True}))
+        if not s.attrs.get("accumulate", False):
+            d = self.defs[c]
+            parts.append(self._zero_fill(self.grad_name[c], d.shape,
+                                         d.dtype))
+        return seq(parts)
+
+    def _value_tensor_name(self, t: str) -> str:
+        """The backward-side tensor holding the forward value of ``t``."""
+        d = self.defs[t]
+        if d.atype is not AccessType.CACHE:
+            return t
+        if t in self.mat.recompute:
+            return t
+        if t in self.mat.tape:
+            if self.scope_loops.get(t):
+                raise ADError(
+                    f"library call operand {t!r} is versioned across "
+                    f"loops; cannot pass its tape to a library routine")
+            return self.tape_name[t]
+        raise ADError(
+            f"forward value of {t!r} is needed by a library call "
+            f"adjoint but was not materialised")
+
+    def _accumulate_tensor(self, src: str, dst: str, d: VarDef) -> Stmt:
+        iters = []
+        for k in range(d.ndim):
+            it = fresh_name(f"i.ac{k}", self._taken)
+            self._taken.add(it)
+            iters.append(it)
+        ivs = [Var(i) for i in iters]
+        body: Stmt = ReduceTo(dst, ivs, "+", Load(src, ivs, d.dtype))
+        for it, size in zip(reversed(iters), reversed(d.shape)):
+            body = For(it, 0, size, body)
+        return body
+
+    # -- backward parameters -----------------------------------------------------
+    def _used_outputs(self, bwd: Func) -> List[str]:
+        reads = set()
+        for s in collect_stmts(bwd.body, lambda _s: True):
+            for e in s.child_exprs():
+                for l in E.all_reads(e):
+                    reads.add(l.var)
+        return [o for o in self.outputs if o in reads]
+
+    def _wrap_bwd_params(self, bwd: Func, used_outputs: List[str]) -> Func:
+        body = bwd.body
+        # map provides-grad reads/writes onto a local working copy so the
+        # incoming gradient parameter stays read-only
+        params: List[str] = []
+
+        # innermost first: requires grads (outputs), zero-filled
+        for x in reversed(self.requires):
+            d = self.defs[x]
+            gname = self.grad_name[x]
+            body = VarDef(gname, d.shape, d.dtype, "output", d.mtype,
+                          seq([self._zero_fill(gname, d.shape, d.dtype),
+                               body]))
+        # provides grads: input parameter + local copy
+        for y in reversed(self.provides):
+            d = self.defs[y]
+            gname = self.grad_name[y]
+            in_name = gname + ".in"
+            copy = self._copy_tensor(in_name, gname, d)
+            body = VarDef(gname, d.shape, d.dtype, "cache", d.mtype,
+                          seq([copy, body]))
+            body = VarDef(in_name, d.shape, d.dtype, "input", d.mtype,
+                          body)
+            params.append(in_name)
+        # tapes
+        for t in sorted(self.mat.tape, reverse=True):
+            d = self.defs[t]
+            body = VarDef(self.tape_name[t],
+                          self._tape_dims(t) + list(d.shape), d.dtype,
+                          "input", d.mtype, body)
+            params.append(self.tape_name[t])
+        # used forward outputs
+        for o in reversed(used_outputs):
+            d = self.defs[o]
+            body = VarDef(o, d.shape, d.dtype, "input", d.mtype, body)
+            params.append(o)
+        # original inputs
+        for i in reversed(self.inputs):
+            d = self.defs[i]
+            body = VarDef(i, d.shape, d.dtype, "input", d.mtype, body)
+            params.append(i)
+        params.reverse()
+        returns = [self.grad_name[x] for x in self.requires]
+        return Func(bwd.name, params, returns, body,
+                    list(self.func.scalar_params))
+
+    def _copy_tensor(self, src: str, dst: str, d: VarDef) -> Stmt:
+        iters = []
+        for k in range(d.ndim):
+            it = fresh_name(f"i.cp{k}", self._taken)
+            self._taken.add(it)
+            iters.append(it)
+        ivs = [Var(i) for i in iters]
+        body: Stmt = Store(dst, ivs, Load(src, ivs, d.dtype))
+        for it, size in zip(reversed(iters), reversed(d.shape)):
+            body = For(it, 0, size, body)
+        return body

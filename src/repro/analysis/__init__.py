@@ -1,0 +1,12 @@
+"""Program analyses: accesses, dependences, symbolic bounds."""
+
+from .access import Access, collect_accesses
+from .bounds import (BoundsCtx, bound_candidates, const_bounds,
+                     tightest_bounds)
+from .deps import Dependence, DepAnalyzer, DirItem, analyze
+
+__all__ = [
+    "Access", "collect_accesses",
+    "BoundsCtx", "bound_candidates", "const_bounds", "tightest_bounds",
+    "Dependence", "DepAnalyzer", "DirItem", "analyze",
+]

@@ -1,0 +1,124 @@
+"""Collecting memory accesses with their full static context.
+
+Every read (Load) and write (Store/ReduceTo target, LibCall operand) is
+recorded together with its enclosing loops, the affine conditions guarding
+it, its pre-order position (textual order), and the loop depth at which its
+tensor was defined — the ingredient for the paper's stack-scope projection
+(Figure 12(d)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import expr as E
+from ..ir import stmt as S
+
+
+class Access:
+    """One static memory access site."""
+
+    __slots__ = ("tensor", "indices", "is_write", "reduce_op", "stmt",
+                 "loops", "conds", "def_depth", "order", "ancestors")
+
+    def __init__(self, tensor: str, indices, is_write: bool,
+                 reduce_op: Optional[str], stmt: S.Stmt, loops, conds,
+                 def_depth: int, order: int, ancestors):
+        self.tensor = tensor
+        #: index expressions; None means "may touch any element"
+        self.indices = indices
+        self.is_write = is_write
+        self.reduce_op = reduce_op
+        self.stmt = stmt
+        #: enclosing For nodes, outermost first
+        self.loops: Tuple[S.For, ...] = tuple(loops)
+        #: guarding (condition, polarity) pairs from enclosing Ifs/Asserts
+        self.conds = tuple(conds)
+        #: how many of ``loops`` enclose the tensor's VarDef
+        self.def_depth = def_depth
+        #: pre-order position (textual order tie-break)
+        self.order = order
+        #: sids of all enclosing statements (incl. self.stmt)
+        self.ancestors = frozenset(ancestors)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        if self.reduce_op:
+            kind += f"({self.reduce_op})"
+        return f"<{kind} {self.tensor} @ {self.stmt.sid}>"
+
+
+def collect_accesses(root: S.Stmt) -> List[Access]:
+    """All accesses in a statement tree, in pre-order."""
+    out: List[Access] = []
+    counter = [0]
+    # tensor name -> number of loops enclosing its VarDef
+    def_depth: Dict[str, int] = {}
+
+    def expr_reads(e: E.Expr, ctx):
+        if isinstance(e, E.Load):
+            out.append(
+                Access(e.var, tuple(e.indices), False, None, ctx["stmt"],
+                       ctx["loops"], ctx["conds"],
+                       def_depth.get(e.var, 0), counter[0], ctx["anc"]))
+        for c in e.children():
+            expr_reads(c, ctx)
+
+    def walk(s: S.Stmt, loops, conds, anc):
+        counter[0] += 1
+        anc = anc | {s.sid}
+        ctx = {"stmt": s, "loops": loops, "conds": conds, "anc": anc}
+        if isinstance(s, S.StmtSeq):
+            for c in s.stmts:
+                walk(c, loops, conds, anc)
+        elif isinstance(s, S.VarDef):
+            def_depth[s.name] = len(loops)
+            for d in s.shape:
+                expr_reads(d, ctx)
+            walk(s.body, loops, conds, anc)
+        elif isinstance(s, S.For):
+            expr_reads(s.begin, ctx)
+            expr_reads(s.end, ctx)
+            walk(s.body, loops + (s,), conds, anc)
+        elif isinstance(s, S.If):
+            expr_reads(s.cond, ctx)
+            walk(s.then_case, loops, conds + ((s.cond, True),), anc)
+            if s.else_case is not None:
+                walk(s.else_case, loops, conds + ((s.cond, False),), anc)
+        elif isinstance(s, S.Assert):
+            walk(s.body, loops, conds + ((s.cond, True),), anc)
+        elif isinstance(s, S.Store):
+            for i in s.indices:
+                expr_reads(i, ctx)
+            expr_reads(s.expr, ctx)
+            out.append(
+                Access(s.var, tuple(s.indices), True, None, s, loops, conds,
+                       def_depth.get(s.var, 0), counter[0], anc))
+        elif isinstance(s, S.ReduceTo):
+            for i in s.indices:
+                expr_reads(i, ctx)
+            expr_reads(s.expr, ctx)
+            # the target is read-modify-write; one access record flagged
+            # with its reduce op covers both roles
+            out.append(
+                Access(s.var, tuple(s.indices), True, s.op, s, loops, conds,
+                       def_depth.get(s.var, 0), counter[0], anc))
+        elif isinstance(s, S.Eval):
+            expr_reads(s.expr, ctx)
+        elif isinstance(s, S.LibCall):
+            for name in s.args:
+                out.append(
+                    Access(name, None, False, None, s, loops, conds,
+                           def_depth.get(name, 0), counter[0], anc))
+            for name in s.outs:
+                out.append(
+                    Access(name, None, True, None, s, loops, conds,
+                           def_depth.get(name, 0), counter[0], anc))
+        elif isinstance(s, (S.Alloc, S.Free, S.Any)):
+            pass
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown stmt {type(s).__name__}")
+
+    body = root.body if isinstance(root, S.Func) else root
+    walk(body, (), (), frozenset())
+    return out

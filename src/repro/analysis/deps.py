@@ -1,0 +1,294 @@
+"""Instance-wise dependence analysis on the IR (paper section 4.2).
+
+For every pair of accesses to the same tensor (at least one being a write),
+the analyser builds a Presburger system over the two statement *instances*
+(one point of each iteration space):
+
+- iteration-domain constraints (loop bounds, affine ``if`` conditions);
+- access equality (may-alias: non-affine indices are unconstrained);
+- stack-scope projection — iterations of loops that enclose the tensor's
+  VarDef must coincide, which removes the false dependences of Fig. 12(d);
+- execution order (the "earlier" instance precedes the "later" one);
+- the query's direction constraints.
+
+A dependence *exists under a direction* iff the system has an integer
+solution (decided exactly by the Omega test).
+
+Directions are expressed as :class:`DirItem` tuples; helper constructors
+cover the common cases used by the schedules:
+
+- ``same_loop(loop, rel)``: relate the two instances' iterations of one
+  common loop (``rel`` in ``< <= = >= > !=`` applies as
+  ``later REL earlier``);
+- ``cross_loop(earlier_loop, later_loop, rel)``: relate the *normalised*
+  (begin-subtracted) iterations of two different loops — used by ``fuse``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ir import stmt as S
+from ..polyhedral import (Affine, AffineBuilder, LinCon, NonAffine,
+                          is_feasible)
+from .access import Access, collect_accesses
+
+_REL_BUILDERS = {
+    "<": LinCon.lt,
+    "<=": LinCon.le,
+    "=": LinCon.eq,
+    ">=": LinCon.ge,
+    ">": LinCon.gt,
+}
+
+
+class DirItem:
+    """One direction constraint of a dependence query."""
+
+    __slots__ = ("earlier_loop", "later_loop", "rel")
+
+    def __init__(self, earlier_loop: str, later_loop: str, rel: str):
+        if rel not in ("<", "<=", "=", ">=", ">", "!="):
+            raise ValueError(f"bad direction relation {rel!r}")
+        self.earlier_loop = earlier_loop  # loop sid
+        self.later_loop = later_loop
+        self.rel = rel
+
+    @staticmethod
+    def same_loop(loop_sid: str, rel: str) -> "DirItem":
+        return DirItem(loop_sid, loop_sid, rel)
+
+    @staticmethod
+    def cross_loop(earlier_sid: str, later_sid: str, rel: str) -> "DirItem":
+        return DirItem(earlier_sid, later_sid, rel)
+
+    def __repr__(self):  # pragma: no cover
+        return f"dir({self.later_loop} {self.rel} {self.earlier_loop})"
+
+
+class Dependence:
+    """A witnessed dependence between two access sites."""
+
+    __slots__ = ("tensor", "earlier", "later", "kind")
+
+    def __init__(self, tensor: str, earlier: Access, later: Access):
+        self.tensor = tensor
+        self.earlier = earlier
+        self.later = later
+        if earlier.is_write and later.is_write:
+            self.kind = "WAW"
+        elif earlier.is_write:
+            self.kind = "RAW"
+        else:
+            self.kind = "WAR"
+
+    def __repr__(self):
+        return (f"{self.kind} on {self.tensor!r}: "
+                f"{self.earlier.stmt.sid} -> {self.later.stmt.sid}")
+
+
+class DepAnalyzer:
+    """Dependence query engine over one function body."""
+
+    def __init__(self, node):
+        self.accesses = collect_accesses(node)
+        self._cache: Dict[tuple, bool] = {}
+
+    # -- public queries -----------------------------------------------------
+    def find(self,
+             direction: Sequence[DirItem] = (),
+             tensors: Optional[Iterable[str]] = None,
+             earlier_in: Optional[str] = None,
+             later_in: Optional[str] = None,
+             either_in: Optional[str] = None,
+             ignore_reduce_pairs: bool = True,
+             first_only: bool = False) -> List[Dependence]:
+        """Dependences matching the filters and direction constraints.
+
+        ``earlier_in`` / ``later_in`` / ``either_in`` restrict accesses to
+        a statement subtree by sid. ``ignore_reduce_pairs`` drops pairs of
+        same-op ReduceTo accesses (commutative reorderable, Fig. 12(c)).
+        """
+        tensors = set(tensors) if tensors is not None else None
+        out: List[Dependence] = []
+        for earlier, later in self._pairs(tensors, ignore_reduce_pairs):
+            if earlier_in is not None and earlier_in not in earlier.ancestors:
+                continue
+            if later_in is not None and later_in not in later.ancestors:
+                continue
+            if either_in is not None and either_in not in earlier.ancestors \
+                    and either_in not in later.ancestors:
+                continue
+            if self._no_deps_filtered(earlier, later, direction):
+                continue
+            if self._dep_exists(earlier, later, tuple(direction)):
+                out.append(Dependence(earlier.tensor, earlier, later))
+                if first_only:
+                    return out
+        return out
+
+    def has_dep(self, **kwargs) -> bool:
+        return bool(self.find(first_only=True, **kwargs))
+
+    # -- pair enumeration -------------------------------------------------------
+    def _pairs(self, tensors, ignore_reduce_pairs):
+        by_tensor: Dict[str, List[Access]] = {}
+        for a in self.accesses:
+            if tensors is not None and a.tensor not in tensors:
+                continue
+            by_tensor.setdefault(a.tensor, []).append(a)
+        for accs in by_tensor.values():
+            for a in accs:  # earlier
+                for b in accs:  # later
+                    if not (a.is_write or b.is_write):
+                        continue
+                    if ignore_reduce_pairs and a.reduce_op is not None \
+                            and a.reduce_op == b.reduce_op:
+                        continue
+                    yield a, b
+
+    @staticmethod
+    def _no_deps_filtered(earlier, later, direction) -> bool:
+        """User no_deps annotations silence deps carried by a loop."""
+        for it in direction:
+            if it.rel == "=":
+                continue
+            for loop in earlier.loops + later.loops:
+                if loop.sid in (it.earlier_loop, it.later_loop) \
+                        and earlier.tensor in loop.property.no_deps:
+                    return True
+        return False
+
+    # -- the core feasibility test ---------------------------------------------
+    def _dep_exists(self, earlier: Access, later: Access,
+                    direction: Tuple[DirItem, ...]) -> bool:
+        key = (id(earlier), id(later),
+               tuple((d.earlier_loop, d.later_loop, d.rel)
+                     for d in direction))
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._dep_exists_uncached(earlier, later, direction)
+        self._cache[key] = result
+        return result
+
+    def _dep_exists_uncached(self, earlier, later, direction) -> bool:
+        e_ren = {l.iter_var: f"$s{k}" for k, l in enumerate(earlier.loops)}
+        l_ren = {l.iter_var: f"$t{k}" for k, l in enumerate(later.loops)}
+
+        base: List[LinCon] = []
+        if not self._domain(earlier, e_ren, base):
+            return False
+        if not self._domain(later, l_ren, base):
+            return False
+
+        # May-alias: equate affine index pairs dimension-wise.
+        if earlier.indices is not None and later.indices is not None:
+            if len(earlier.indices) != len(later.indices):
+                return True  # malformed; be conservative
+            for ie, il in zip(earlier.indices, later.indices):
+                ae = _affine_of(ie, e_ren, base)
+                al = _affine_of(il, l_ren, base)
+                if ae is None or al is None:
+                    continue  # non-affine: may match anything
+                base.append(LinCon.eq(ae, al))
+
+        # Common loops and stack-scope projection.
+        n_common = 0
+        for le, ll in zip(earlier.loops, later.loops):
+            if le.sid != ll.sid:
+                break
+            n_common += 1
+        def_depth = min(earlier.def_depth, later.def_depth, n_common)
+        for k in range(def_depth):
+            base.append(
+                LinCon.eq(Affine.var(f"$s{k}"), Affine.var(f"$t{k}")))
+
+        # Direction constraints.
+        sid2e = {l.sid: f"$s{k}" for k, l in enumerate(earlier.loops)}
+        sid2l = {l.sid: f"$t{k}" for k, l in enumerate(later.loops)}
+        e_begin = {l.sid: l.begin for l in earlier.loops}
+        l_begin = {l.sid: l.begin for l in later.loops}
+        alternates: List[List[LinCon]] = [[]]
+        for item in direction:
+            if item.earlier_loop not in sid2e or \
+                    item.later_loop not in sid2l:
+                return False  # the loop does not enclose the access
+            ev = Affine.var(sid2e[item.earlier_loop])
+            lv = Affine.var(sid2l[item.later_loop])
+            if item.earlier_loop != item.later_loop:
+                # normalise to begin-relative positions for cross-loop dirs
+                eb = _affine_of(e_begin[item.earlier_loop], e_ren, base)
+                lb = _affine_of(l_begin[item.later_loop], l_ren, base)
+                if eb is None or lb is None:
+                    return True  # cannot reason; conservative
+                ev = ev - eb
+                lv = lv - lb
+            if item.rel == "!=":
+                alternates = [alt + [c] for alt in alternates
+                              for c in (LinCon.lt(lv, ev),
+                                        LinCon.gt(lv, ev))]
+            else:
+                con = _REL_BUILDERS[item.rel](lv, ev)
+                alternates = [alt + [con] for alt in alternates]
+
+        # Execution order: earlier precedes later (lexicographic on common
+        # loops, pre-order position as the tie-break).
+        order_alts: List[List[LinCon]] = []
+        for k in range(n_common):
+            cons = [
+                LinCon.eq(Affine.var(f"$s{j}"), Affine.var(f"$t{j}"))
+                for j in range(k)
+            ]
+            cons.append(LinCon.lt(Affine.var(f"$s{k}"),
+                                  Affine.var(f"$t{k}")))
+            order_alts.append(cons)
+        if earlier.order < later.order:
+            order_alts.append([
+                LinCon.eq(Affine.var(f"$s{j}"), Affine.var(f"$t{j}"))
+                for j in range(n_common)
+            ] if n_common else [])
+
+        for dir_alt in alternates:
+            for ord_alt in order_alts:
+                if is_feasible(base + dir_alt + ord_alt):
+                    return True
+        return False
+
+    @staticmethod
+    def _domain(acc: Access, rename, out: List[LinCon]) -> bool:
+        """Append iteration-domain constraints; False if domain is void."""
+        for k, loop in enumerate(acc.loops):
+            iv = Affine.var(rename[loop.iter_var])
+            b = _affine_of(loop.begin, rename, out)
+            e = _affine_of(loop.end, rename, out)
+            if b is not None:
+                out.append(LinCon.ge(iv, b))
+            if e is not None:
+                out.append(LinCon.lt(iv, e))
+        for cond, polarity in acc.conds:
+            builder = AffineBuilder(rename)
+            try:
+                alts = builder.build_condition(cond, not polarity)
+            except NonAffine:
+                continue  # unknown guard: conservative (no constraint)
+            if len(alts) == 1:
+                out.extend(builder.extra_cons)
+                out.extend(alts[0])
+            # disjunctive guards are dropped (over-approximation)
+        return True
+
+
+def _affine_of(expr, rename, out_cons: List[LinCon]) -> Optional[Affine]:
+    builder = AffineBuilder(rename)
+    try:
+        a = builder.build(expr)
+    except NonAffine:
+        return None
+    out_cons.extend(builder.extra_cons)
+    return a
+
+
+def analyze(node) -> DepAnalyzer:
+    """Build a dependence analyzer for a Func or statement tree."""
+    return DepAnalyzer(node)

@@ -1,0 +1,15 @@
+"""Automatic scheduling: the paper's rule-based passes and a
+search-based tuner used as the compile-time baseline (Table 2)."""
+
+from .autotune import EvolutionaryTuner, RandomTuner, TuneResult
+from .rules import (auto_fuse, auto_mem_type, auto_parallelize,
+                    auto_schedule, auto_unroll, auto_use_lib,
+                    auto_vectorize)
+from .target import CPU, GPU, Target, default_target
+
+__all__ = [
+    "EvolutionaryTuner", "RandomTuner", "TuneResult",
+    "auto_fuse", "auto_mem_type", "auto_parallelize", "auto_schedule",
+    "auto_unroll", "auto_use_lib", "auto_vectorize",
+    "CPU", "GPU", "Target", "default_target",
+]

@@ -1,0 +1,31 @@
+"""Target descriptions for the auto-scheduler."""
+
+from __future__ import annotations
+
+
+class Target:
+    """Hardware the auto-scheduler optimises for."""
+
+    def __init__(self, kind: str, name: str, num_threads: int = 1,
+                 block_size: int = 256, max_local_elems: int = 64,
+                 max_shared_elems: int = 4096, unroll_limit: int = 4):
+        assert kind in ("cpu", "gpu")
+        self.kind = kind
+        self.name = name
+        self.num_threads = num_threads
+        #: threads per block when mapping loops onto a GPU grid
+        self.block_size = block_size
+        self.max_local_elems = max_local_elems
+        self.max_shared_elems = max_shared_elems
+        self.unroll_limit = unroll_limit
+
+    def __repr__(self):  # pragma: no cover
+        return f"Target({self.kind}:{self.name})"
+
+
+CPU = Target("cpu", "generic-cpu", num_threads=24)
+GPU = Target("gpu", "sim-v100", num_threads=0, block_size=256)
+
+
+def default_target(backend: str = "pycode") -> Target:
+    return GPU if backend == "gpusim" else CPU

@@ -1,0 +1,33 @@
+"""A ``vmap`` combinator for the OpTensor baseline.
+
+JAX/PyTorch ``vmap`` lets the SoftRas baseline express per-face
+computation that is then executed as whole-batch kernels (paper section
+6.2: "this application can be accelerated by expressing the computation
+for individual faces and looping over multiple faces via the vmap
+meta-operator"). On the OpTensor substrate the same effect comes from
+broadcasting: ``vmap(fn)`` feeds the *batched* tensors through ``fn``
+whose elementwise operators broadcast over the leading axis — one kernel
+per op for the whole batch, exactly like a vmapped program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .optensor import OpTensor
+
+
+def vmap(fn: Callable) -> Callable:
+    """Vectorise ``fn`` over the leading axis of its OpTensor arguments.
+
+    ``fn`` must be written with broadcasting-compatible operators (all of
+    ``repro.baselines.optensor`` qualifies). Non-tensor arguments pass
+    through unchanged.
+    """
+
+    def batched(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    batched.__name__ = f"vmap({getattr(fn, '__name__', 'fn')})"
+    batched.__vmapped__ = True
+    return batched

@@ -1,0 +1,5 @@
+"""Code generators: Python/NumPy, C/OpenMP (native), and CUDA (source)."""
+
+from .pycode import PyCodegen, compile_func
+
+__all__ = ["PyCodegen", "compile_func"]

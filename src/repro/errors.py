@@ -1,0 +1,56 @@
+"""Exception hierarchy for the FreeTensor reproduction.
+
+All user-facing errors raised by the compiler derive from
+:class:`FreeTensorError` so applications can catch one type.
+"""
+
+from __future__ import annotations
+
+
+class FreeTensorError(Exception):
+    """Base class of all errors raised by this package."""
+
+
+class StagingError(FreeTensorError):
+    """Raised when the Python-to-IR frontend cannot stage a construct."""
+
+
+class InvalidProgram(FreeTensorError):
+    """Raised when an IR program is malformed (unknown vars, bad shapes...)."""
+
+
+class InvalidSchedule(FreeTensorError):
+    """Raised when a schedule transformation is illegal.
+
+    A transformation is illegal either because the target statements do not
+    exist / do not have the required structure, or because dependence
+    analysis proves the transformation would change program semantics.
+    """
+
+
+class DependenceViolation(InvalidSchedule):
+    """An :class:`InvalidSchedule` specifically caused by a dependence."""
+
+    def __init__(self, message: str, dependences=()):
+        super().__init__(message)
+        self.dependences = tuple(dependences)
+
+
+class ADError(FreeTensorError):
+    """Raised when automatic differentiation cannot handle a construct."""
+
+
+class BackendError(FreeTensorError):
+    """Raised when code generation or native compilation fails."""
+
+
+class SimulatedOOM(FreeTensorError):
+    """Raised by the simulated device when an allocation exceeds capacity.
+
+    Mirrors the paper's OOM outcomes in Figure 16(b) and Figure 18.
+    """
+
+    def __init__(self, message: str, requested: int = 0, capacity: int = 0):
+        super().__init__(message)
+        self.requested = requested
+        self.capacity = capacity

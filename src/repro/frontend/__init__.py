@@ -1,0 +1,17 @@
+"""The free-form DSL frontend: staging Python functions into IR."""
+
+from .context import Builder
+from .staging import (Program, ParamSpec, capture, create_var, cur_ctx,
+                      empty, in_staging, inline, label, ones, transform,
+                      zeros)
+from .tensor import (Size, Tensor, TensorRef, as_expr, ceil, cos, erf, exp,
+                     floor, ft_abs, ft_max, ft_min, log, sigmoid, sin, sqrt,
+                     tan, tanh)
+
+__all__ = [
+    "Builder", "Program", "ParamSpec", "capture", "create_var", "cur_ctx",
+    "empty", "in_staging", "inline", "label", "ones", "transform", "zeros",
+    "Size", "Tensor", "TensorRef", "as_expr", "ceil", "cos", "erf", "exp",
+    "floor", "ft_abs", "ft_max", "ft_min", "log", "sigmoid", "sin", "sqrt",
+    "tan", "tanh",
+]

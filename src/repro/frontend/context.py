@@ -1,0 +1,244 @@
+"""Staging context: builds stack-scoped IR while the user's Python function
+executes symbolically.
+
+The builder maintains a stack of open scopes. Emitted statements go to the
+innermost scope. Defining a tensor inserts a marker; when the scope closes,
+every statement after the marker becomes the body of the corresponding
+:class:`~repro.ir.stmt.VarDef`, which realises the paper's stack-scoped AST.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from ..errors import StagingError
+from ..ir import (AccessType, DataType, For, ForProperty, If, MemType, Stmt,
+                  StmtSeq, VarDef, Var, Expr, wrap, seq)
+
+
+class _VarMarker:
+    """Placeholder for a VarDef opened mid-scope."""
+
+    __slots__ = ("name", "shape", "dtype", "atype", "mtype", "pinned",
+                 "label", "closed", "init_data", "fresh_unbound")
+
+    def __init__(self, name, shape, dtype, atype, mtype, pinned, label):
+        self.name = name
+        self.shape = tuple(wrap(s) for s in shape)
+        self.dtype = DataType.parse(dtype)
+        self.atype = AccessType.parse(atype)
+        self.mtype = MemType.parse(mtype)
+        self.pinned = pinned
+        self.label = label
+        self.closed = False
+        self.init_data = None  # compile-time constant contents (capture())
+        #: a freshly created temporary not yet bound to a user name; binding
+        #: it renames the tensor in place instead of copying (the user holds
+        #: no other reference, so copy-by-value semantics are preserved)
+        self.fresh_unbound = False
+
+
+class _AssertMarker:
+    """Placeholder for an Assert covering the rest of its scope."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond):
+        self.cond = cond
+
+
+class Builder:
+    """Accumulates IR statements during staging."""
+
+    def __init__(self, default_mtype: str = "cpu"):
+        self.default_mtype = MemType.parse(default_mtype)
+        self._scopes: List[list] = [[]]
+        self._names: set = set()
+        self.markers: Dict[str, _VarMarker] = {}
+        #: declaration order of tensor parameters
+        self.params: List[str] = []
+        #: by-value scalar parameters
+        self.scalar_params: List[str] = []
+        #: names returned from the function, in order
+        self.returns: List[str] = []
+        self._pending_label: Optional[str] = None
+
+    # -- labels ------------------------------------------------------------
+    def set_label(self, name: str):
+        """Attach ``name`` to the next staged statement."""
+        self._pending_label = name
+
+    def take_label(self) -> Optional[str]:
+        out, self._pending_label = self._pending_label, None
+        return out
+
+    # -- naming ---------------------------------------------------------
+    def fresh(self, base: str) -> str:
+        name = base
+        i = 1
+        while name in self._names:
+            name = f"{base}.{i}"
+            i += 1
+        self._names.add(name)
+        return name
+
+    # -- scopes ----------------------------------------------------------
+    def open_scope(self):
+        self._scopes.append([])
+
+    def close_scope(self) -> Stmt:
+        items = self._scopes.pop()
+        return self._build_scope(items)
+
+    def _build_scope(self, items) -> Stmt:
+        out = []
+        for pos, item in enumerate(items):
+            if isinstance(item, _VarMarker):
+                item.closed = True
+                inner = self._build_scope(items[pos + 1:])
+                vd = VarDef(item.name, item.shape, item.dtype, item.atype,
+                            item.mtype, inner, item.pinned, label=item.label)
+                if item.init_data is not None:
+                    vd.init_data = item.init_data
+                out.append(vd)
+                break
+            if isinstance(item, _AssertMarker):
+                from ..ir import Assert
+
+                inner = self._build_scope(items[pos + 1:])
+                out.append(Assert(item.cond, inner))
+                break
+            out.append(item)
+        if len(out) == 1:
+            return out[0]
+        return StmtSeq(out)
+
+    def emit(self, stmt: Stmt):
+        if stmt.label is None and self._pending_label is not None:
+            stmt.label = self.take_label()
+        self._scopes[-1].append(stmt)
+
+    def assert_stmt(self, cond):
+        """Stage an assertion covering the rest of the current scope."""
+        self._scopes[-1].append(_AssertMarker(wrap(cond)))
+
+    def rename_everywhere(self, old: str, new_base: str) -> str:
+        """Rename tensor ``old`` across all open scopes; returns new name.
+
+        Only valid while the tensor's VarDef marker is still open, i.e. all
+        statements mentioning it live in currently-open scope lists.
+        """
+        from ..ir import Stmt as _IRStmt
+        from ..ir import rename_tensor
+
+        # The old name disappears entirely, so it may be reused: this lets
+        # `y = ft.zeros(...)` produce a tensor actually named "y".
+        self._names.discard(old)
+        new = self.fresh(new_base)
+        if new == old:
+            return new
+        for scope in self._scopes:
+            for i, item in enumerate(scope):
+                if isinstance(item, _IRStmt):
+                    scope[i] = rename_tensor(item, old, new)
+                elif isinstance(item, _VarMarker) and item.name == old:
+                    item.name = new
+        self.markers[new] = self.markers.pop(old)
+        return new
+
+    # -- tensors -----------------------------------------------------------
+    def define(self,
+               base_name: str,
+               shape,
+               dtype,
+               atype: str = "cache",
+               mtype: Optional[str] = None,
+               pinned: bool = False,
+               label: Optional[str] = None) -> _VarMarker:
+        """Open a VarDef covering the rest of the current scope."""
+        name = self.fresh(base_name)
+        if label is None:
+            label = self.take_label()
+        marker = _VarMarker(name, shape, dtype, atype,
+                            mtype if mtype is not None else self.default_mtype,
+                            pinned, label)
+        self.markers[name] = marker
+        self._scopes[-1].append(marker)
+        return marker
+
+    def declare_param(self, marker: _VarMarker):
+        self.params.append(marker.name)
+
+    def declare_scalar_param(self, name: str) -> Var:
+        name_unique = self.fresh(name)
+        if name_unique != name:
+            raise StagingError(f"duplicate scalar parameter {name!r}")
+        self.scalar_params.append(name)
+        return Var(name)
+
+    def mark_return(self, name: str):
+        marker = self.markers.get(name)
+        if marker is None:
+            raise StagingError(f"cannot return {name!r}: not a local tensor")
+        if marker.atype is AccessType.CACHE:
+            marker.atype = AccessType.OUTPUT
+        self.returns.append(name)
+
+    # -- control flow -------------------------------------------------------
+    @contextmanager
+    def for_range(self, name_hint: str, begin, end, step: int = 1,
+                  label: Optional[str] = None):
+        """Stage a ``for`` loop; yields the iterator expression.
+
+        Non-unit (constant) steps are normalised to a unit-step loop over a
+        trip-count iterator, keeping the polyhedral model exact.
+        """
+        begin, end = wrap(begin), wrap(end)
+        if label is None:
+            label = self.take_label()
+        if step == 1:
+            it = self.fresh(name_hint)
+            self.open_scope()
+            yield Var(it)
+            body = self.close_scope()
+            self.emit(For(it, begin, end, body, label=label))
+            return
+        if not isinstance(step, int) or step == 0:
+            raise StagingError("loop step must be a non-zero Python int")
+        it = self.fresh(name_hint)
+        if step > 0:
+            trip = (end - begin + (step - 1)) // step
+        else:
+            trip = (begin - end + (-step - 1)) // (-step)
+        self.open_scope()
+        yield begin + Var(it) * step
+        body = self.close_scope()
+        self.emit(For(it, 0, trip, body, label=label))
+
+    @contextmanager
+    def if_stmt(self, cond, label: Optional[str] = None):
+        if label is None:
+            label = self.take_label()
+        self.open_scope()
+        yield
+        body = self.close_scope()
+        self.emit(If(wrap(cond), body, label=label))
+
+    @contextmanager
+    def else_stmt(self):
+        scope = self._scopes[-1]
+        if not scope or not isinstance(scope[-1], If) \
+                or scope[-1].else_case is not None:
+            raise StagingError("'else' without a matching staged 'if'")
+        self.open_scope()
+        yield
+        body = self.close_scope()
+        prev: If = scope[-1]
+        prev.else_case = body
+
+    # -- finish ---------------------------------------------------------------
+    def finish(self) -> Stmt:
+        if len(self._scopes) != 1:
+            raise StagingError("unbalanced scopes at end of staging")
+        return self.close_scope()

@@ -1,0 +1,51 @@
+"""The FreeTensor-style intermediate representation.
+
+A program is a :class:`Func` whose body is a stack-scoped statement tree.
+See ``repro.ir.expr`` and ``repro.ir.stmt`` for the node classes, and
+``repro.ir.visitor`` for traversal infrastructure.
+"""
+
+from .dtype import (AccessType, DataType, MemType, from_numpy_dtype,
+                    join_dtype)
+from .expr import (Add, AnyExpr, BinOp, BoolConst, Cast, CmpOp, Const, EQ,
+                   Expr, FloatConst, FloorDiv, GE, GT, IfExpr, IntConst,
+                   Intrinsic, INTRINSICS, LAnd, LE, LNot, LOr, LT, Load, Max,
+                   Min, Mod, Mul, NE, RealDiv, Sub, Var, all_loaded_tensors,
+                   all_reads, all_vars, makeAdd, makeCast, makeCmp,
+                   makeFloorDiv, makeIfExpr, makeIntrinsic, makeLAnd,
+                   makeLNot, makeLOr, makeMax, makeMin, makeMod, makeMul,
+                   makeRealDiv, makeSub, same_expr, wrap, wrap_like)
+from .functional import (collect_stmts, count_nodes, defined_tensors,
+                         find_stmt, fresh_copy, fresh_name, match, reads_of,
+                         rename_tensor, substitute, used_names, writes_of)
+from .printer import dump, print_ast, print_expr
+from .stmt import (Alloc, Any, Assert, Eval, For, ForProperty, Free, Func, If,
+                   LibCall, REDUCE_OPS, ReduceTo, Stmt, StmtSeq, Store,
+                   VarDef, fresh_sid, seq)
+from .visitor import ExprMutator, Mutator, Visitor, map_exprs
+
+__all__ = [
+    # dtype
+    "AccessType", "DataType", "MemType", "from_numpy_dtype", "join_dtype",
+    # expr
+    "Add", "AnyExpr", "BinOp", "BoolConst", "Cast", "CmpOp", "Const", "EQ",
+    "Expr", "FloatConst", "FloorDiv", "GE", "GT", "IfExpr", "IntConst",
+    "Intrinsic", "INTRINSICS", "LAnd", "LE", "LNot", "LOr", "LT", "Load",
+    "Max", "Min", "Mod", "Mul", "NE", "RealDiv", "Sub", "Var",
+    "all_loaded_tensors", "all_reads", "all_vars", "makeAdd", "makeCast",
+    "makeCmp", "makeFloorDiv", "makeIfExpr", "makeIntrinsic", "makeLAnd",
+    "makeLNot", "makeLOr", "makeMax", "makeMin", "makeMod", "makeMul",
+    "makeRealDiv", "makeSub", "same_expr", "wrap", "wrap_like",
+    # functional
+    "collect_stmts", "count_nodes", "defined_tensors", "find_stmt",
+    "fresh_copy", "fresh_name", "match", "reads_of", "rename_tensor",
+    "substitute", "used_names", "writes_of",
+    # printer
+    "dump", "print_ast", "print_expr",
+    # stmt
+    "Alloc", "Any", "Assert", "Eval", "For", "ForProperty", "Free", "Func",
+    "If", "LibCall", "REDUCE_OPS", "ReduceTo", "Stmt", "StmtSeq", "Store",
+    "VarDef", "fresh_sid", "seq",
+    # visitor
+    "ExprMutator", "Mutator", "Visitor", "map_exprs",
+]

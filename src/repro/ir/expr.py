@@ -1,0 +1,692 @@
+"""Expression nodes of the FreeTensor IR.
+
+Expressions are immutable trees. Every node carries a ``dtype``. Python
+operators are overloaded on :class:`Expr` so compiler code (and the DSL
+frontend) can build IR with ordinary arithmetic syntax; construction applies
+light constant folding so trivially-constant subtrees never appear in the IR.
+
+Structural identity: two expressions compare equal (``==`` on non-Expr
+context via :func:`same_expr`) iff their trees are identical. Because ``==``
+on :class:`Expr` is overloaded to *build* an :class:`EQ` node, use
+:func:`same_expr` / :meth:`Expr.key` for comparisons inside the compiler.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .dtype import DataType, join_dtype
+
+
+class Expr:
+    """Base class of all IR expressions."""
+
+    __slots__ = ("dtype",)
+
+    dtype: DataType
+
+    # -- tree protocol -------------------------------------------------
+    def children(self) -> Sequence["Expr"]:
+        """Direct sub-expressions of this node."""
+        return ()
+
+    def key(self):
+        """A hashable tuple uniquely identifying this tree's structure."""
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------
+    def __repr__(self) -> str:
+        from .printer import print_expr
+
+        return print_expr(self)
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __bool__(self):
+        raise TypeError(
+            "cannot convert a symbolic expression to a Python bool; "
+            "this usually means a data-dependent condition leaked into "
+            "host control flow (use it inside a @transform-ed function)")
+
+    # -- arithmetic operators -------------------------------------------
+    def __add__(self, other):
+        return makeAdd(self, wrap(other))
+
+    def __radd__(self, other):
+        return makeAdd(wrap(other), self)
+
+    def __sub__(self, other):
+        return makeSub(self, wrap(other))
+
+    def __rsub__(self, other):
+        return makeSub(wrap(other), self)
+
+    def __mul__(self, other):
+        return makeMul(self, wrap(other))
+
+    def __rmul__(self, other):
+        return makeMul(wrap(other), self)
+
+    def __truediv__(self, other):
+        return makeRealDiv(self, wrap(other))
+
+    def __rtruediv__(self, other):
+        return makeRealDiv(wrap(other), self)
+
+    def __floordiv__(self, other):
+        return makeFloorDiv(self, wrap(other))
+
+    def __rfloordiv__(self, other):
+        return makeFloorDiv(wrap(other), self)
+
+    def __mod__(self, other):
+        return makeMod(self, wrap(other))
+
+    def __rmod__(self, other):
+        return makeMod(wrap(other), self)
+
+    def __pow__(self, other):
+        return makeIntrinsic("pow", [self, wrap(other)],
+                             join_dtype(self.dtype, wrap(other).dtype))
+
+    def __neg__(self):
+        return makeSub(wrap_like(0, self.dtype), self)
+
+    def __pos__(self):
+        return self
+
+    def __abs__(self):
+        return makeIntrinsic("abs", [self], self.dtype)
+
+    # -- comparisons -----------------------------------------------------
+    def __lt__(self, other):
+        return makeCmp(LT, self, wrap(other))
+
+    def __le__(self, other):
+        return makeCmp(LE, self, wrap(other))
+
+    def __gt__(self, other):
+        return makeCmp(GT, self, wrap(other))
+
+    def __ge__(self, other):
+        return makeCmp(GE, self, wrap(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return makeCmp(EQ, self, wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return makeCmp(NE, self, wrap(other))
+
+    # -- logical ----------------------------------------------------------
+    def logical_and(self, other):
+        return makeLAnd(self, wrap(other))
+
+    def logical_or(self, other):
+        return makeLOr(self, wrap(other))
+
+    def logical_not(self):
+        return makeLNot(self)
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class Const(Expr):
+    """Base class for constants; ``val`` is a Python scalar."""
+
+    __slots__ = ("val",)
+
+    def key(self):
+        return (type(self).__name__, self.val)
+
+
+class IntConst(Const):
+    """An integer constant."""
+
+    __slots__ = ()
+
+    def __init__(self, val: int, dtype: DataType = DataType.INT32):
+        self.val = int(val)
+        self.dtype = dtype
+
+
+class FloatConst(Const):
+    """A floating-point constant."""
+
+    __slots__ = ()
+
+    def __init__(self, val: float, dtype: DataType = DataType.FLOAT32):
+        self.val = float(val)
+        self.dtype = dtype
+
+
+class BoolConst(Const):
+    """A boolean constant."""
+
+    __slots__ = ()
+
+    def __init__(self, val: bool):
+        self.val = bool(val)
+        self.dtype = DataType.BOOL
+
+
+class Var(Expr):
+    """A scalar symbol: a loop iterator or a by-value parameter (e.g. a
+    shape variable). Always an integer in this IR."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, dtype: DataType = DataType.INT32):
+        self.name = name
+        self.dtype = dtype
+
+    def key(self):
+        return ("Var", self.name)
+
+
+class Load(Expr):
+    """Reading ``tensor[indices]``; scalars load with zero indices."""
+
+    __slots__ = ("var", "indices")
+
+    def __init__(self, var: str, indices: Iterable[Expr], dtype: DataType):
+        self.var = var
+        self.indices = tuple(wrap(i) for i in indices)
+        self.dtype = dtype
+
+    def children(self):
+        return self.indices
+
+    def key(self):
+        return ("Load", self.var, tuple(i.key() for i in self.indices))
+
+
+# ---------------------------------------------------------------------------
+# Binary / unary operations
+# ---------------------------------------------------------------------------
+
+
+class BinOp(Expr):
+    """Base class of binary operations."""
+
+    __slots__ = ("lhs", "rhs")
+    op_name = "?"
+
+    def __init__(self, lhs: Expr, rhs: Expr, dtype: DataType | None = None):
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dtype = dtype if dtype is not None else join_dtype(
+            lhs.dtype, rhs.dtype)
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+    def key(self):
+        return (type(self).__name__, self.lhs.key(), self.rhs.key())
+
+
+class Add(BinOp):
+    __slots__ = ()
+    op_name = "+"
+
+
+class Sub(BinOp):
+    __slots__ = ()
+    op_name = "-"
+
+
+class Mul(BinOp):
+    __slots__ = ()
+    op_name = "*"
+
+
+class RealDiv(BinOp):
+    """True division; always produces a float."""
+
+    __slots__ = ()
+    op_name = "/"
+
+    def __init__(self, lhs: Expr, rhs: Expr):
+        dtype = join_dtype(lhs.dtype, rhs.dtype)
+        if not dtype.is_float:
+            dtype = DataType.FLOAT32
+        super().__init__(lhs, rhs, dtype)
+
+
+class FloorDiv(BinOp):
+    __slots__ = ()
+    op_name = "//"
+
+
+class Mod(BinOp):
+    """Python-style modulo (result has the sign of the divisor)."""
+
+    __slots__ = ()
+    op_name = "%"
+
+
+class Min(BinOp):
+    __slots__ = ()
+    op_name = "min"
+
+
+class Max(BinOp):
+    __slots__ = ()
+    op_name = "max"
+
+
+class CmpOp(BinOp):
+    """Base class of comparisons; dtype is always bool."""
+
+    __slots__ = ()
+
+    def __init__(self, lhs: Expr, rhs: Expr):
+        super().__init__(lhs, rhs, DataType.BOOL)
+
+
+class LT(CmpOp):
+    __slots__ = ()
+    op_name = "<"
+
+
+class LE(CmpOp):
+    __slots__ = ()
+    op_name = "<="
+
+
+class GT(CmpOp):
+    __slots__ = ()
+    op_name = ">"
+
+
+class GE(CmpOp):
+    __slots__ = ()
+    op_name = ">="
+
+
+class EQ(CmpOp):
+    __slots__ = ()
+    op_name = "=="
+
+
+class NE(CmpOp):
+    __slots__ = ()
+    op_name = "!="
+
+
+class LAnd(BinOp):
+    __slots__ = ()
+    op_name = "and"
+
+    def __init__(self, lhs: Expr, rhs: Expr):
+        super().__init__(lhs, rhs, DataType.BOOL)
+
+
+class LOr(BinOp):
+    __slots__ = ()
+    op_name = "or"
+
+    def __init__(self, lhs: Expr, rhs: Expr):
+        super().__init__(lhs, rhs, DataType.BOOL)
+
+
+class LNot(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+        self.dtype = DataType.BOOL
+
+    def children(self):
+        return (self.operand,)
+
+    def key(self):
+        return ("LNot", self.operand.key())
+
+
+class IfExpr(Expr):
+    """``then_case if cond else else_case`` (a select, not control flow)."""
+
+    __slots__ = ("cond", "then_case", "else_case")
+
+    def __init__(self, cond: Expr, then_case: Expr, else_case: Expr):
+        self.cond = cond
+        self.then_case = then_case
+        self.else_case = else_case
+        self.dtype = join_dtype(then_case.dtype, else_case.dtype)
+
+    def children(self):
+        return (self.cond, self.then_case, self.else_case)
+
+    def key(self):
+        return ("IfExpr", self.cond.key(), self.then_case.key(),
+                self.else_case.key())
+
+
+class Cast(Expr):
+    """Explicit dtype conversion."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr, dtype: DataType):
+        self.operand = operand
+        self.dtype = dtype
+
+    def children(self):
+        return (self.operand,)
+
+    def key(self):
+        return ("Cast", self.operand.key(), self.dtype.value)
+
+
+#: Intrinsics understood by all backends and by automatic differentiation.
+INTRINSICS = frozenset({
+    "abs", "sqrt", "exp", "log", "sin", "cos", "tan", "tanh", "sigmoid",
+    "floor", "ceil", "pow", "erf", "unbound_min", "unbound_max",
+})
+
+
+class Intrinsic(Expr):
+    """A call to a math intrinsic (``exp``, ``sqrt``, ``abs``...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Iterable[Expr], dtype: DataType):
+        if name not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic: {name!r}")
+        self.name = name
+        self.args = tuple(args)
+        self.dtype = dtype
+
+    def children(self):
+        return self.args
+
+    def key(self):
+        return ("Intrinsic", self.name, tuple(a.key() for a in self.args))
+
+
+class AnyExpr(Expr):
+    """Wildcard used only in pattern-matching tests; matches any expression."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        self.dtype = DataType.INT32
+
+    def key(self):
+        return ("AnyExpr",)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers with constant folding
+# ---------------------------------------------------------------------------
+
+
+def wrap(value) -> Expr:
+    """Convert a Python scalar to an IR constant; pass expressions through.
+
+    Frontend 0-D tensor references convert via their ``as_load`` method
+    (duck-typed to avoid a dependency cycle with the frontend package).
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, float):
+        return FloatConst(value)
+    as_load = getattr(value, "as_load", None)
+    if as_load is not None:
+        return as_load()
+    raise TypeError(f"cannot convert {value!r} to an IR expression")
+
+
+def wrap_like(value, dtype: DataType) -> Expr:
+    """Wrap a Python scalar as a constant of a given dtype."""
+    if dtype.is_float:
+        return FloatConst(float(value), dtype)
+    if dtype.is_bool:
+        return BoolConst(bool(value))
+    return IntConst(int(value), dtype)
+
+
+def _const_val(e: Expr):
+    return e.val if isinstance(e, Const) else None
+
+
+def makeAdd(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None:
+        return wrap_like(a + b, join_dtype(lhs.dtype, rhs.dtype))
+    if a == 0:
+        return rhs
+    if b == 0:
+        return lhs
+    return Add(lhs, rhs)
+
+
+def makeSub(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None:
+        return wrap_like(a - b, join_dtype(lhs.dtype, rhs.dtype))
+    if b == 0:
+        return lhs
+    if same_expr(lhs, rhs):
+        return wrap_like(0, join_dtype(lhs.dtype, rhs.dtype))
+    return Sub(lhs, rhs)
+
+
+def makeMul(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None:
+        return wrap_like(a * b, join_dtype(lhs.dtype, rhs.dtype))
+    if a == 1:
+        return rhs
+    if b == 1:
+        return lhs
+    if (a == 0 or b == 0) and lhs.dtype.is_int and rhs.dtype.is_int:
+        return wrap_like(0, join_dtype(lhs.dtype, rhs.dtype))
+    return Mul(lhs, rhs)
+
+
+def makeRealDiv(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None and b != 0:
+        return FloatConst(a / b)
+    return RealDiv(lhs, rhs)
+
+
+def makeFloorDiv(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None and b != 0:
+        return wrap_like(a // b, join_dtype(lhs.dtype, rhs.dtype))
+    if b == 1:
+        return lhs
+    return FloorDiv(lhs, rhs)
+
+
+def makeMod(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None and b != 0:
+        return wrap_like(a % b, join_dtype(lhs.dtype, rhs.dtype))
+    if b == 1:
+        return wrap_like(0, join_dtype(lhs.dtype, rhs.dtype))
+    return Mod(lhs, rhs)
+
+
+def makeMin(lhs: Expr, rhs: Expr) -> Expr:
+    lhs, rhs = wrap(lhs), wrap(rhs)
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None:
+        return wrap_like(min(a, b), join_dtype(lhs.dtype, rhs.dtype))
+    if same_expr(lhs, rhs):
+        return lhs
+    return Min(lhs, rhs)
+
+
+def makeMax(lhs: Expr, rhs: Expr) -> Expr:
+    lhs, rhs = wrap(lhs), wrap(rhs)
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None:
+        return wrap_like(max(a, b), join_dtype(lhs.dtype, rhs.dtype))
+    if same_expr(lhs, rhs):
+        return lhs
+    return Max(lhs, rhs)
+
+
+_CMP_FOLD = {
+    LT: lambda a, b: a < b,
+    LE: lambda a, b: a <= b,
+    GT: lambda a, b: a > b,
+    GE: lambda a, b: a >= b,
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+}
+
+
+def makeCmp(cls, lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is not None and b is not None:
+        return BoolConst(_CMP_FOLD[cls](a, b))
+    if same_expr(lhs, rhs):
+        return BoolConst(cls in (LE, GE, EQ))
+    return cls(lhs, rhs)
+
+
+def makeLAnd(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is False or b is False:
+        return BoolConst(False)
+    if a is True:
+        return rhs
+    if b is True:
+        return lhs
+    return LAnd(lhs, rhs)
+
+
+def makeLOr(lhs: Expr, rhs: Expr) -> Expr:
+    a, b = _const_val(lhs), _const_val(rhs)
+    if a is True or b is True:
+        return BoolConst(True)
+    if a is False:
+        return rhs
+    if b is False:
+        return lhs
+    return LOr(lhs, rhs)
+
+
+def makeLNot(operand: Expr) -> Expr:
+    v = _const_val(operand)
+    if v is not None:
+        return BoolConst(not v)
+    if isinstance(operand, LNot):
+        return operand.operand
+    return LNot(operand)
+
+
+def makeIfExpr(cond: Expr, then_case: Expr, else_case: Expr) -> Expr:
+    v = _const_val(cond)
+    if v is True:
+        return then_case
+    if v is False:
+        return else_case
+    return IfExpr(cond, then_case, else_case)
+
+
+def makeCast(operand: Expr, dtype: DataType) -> Expr:
+    if operand.dtype is dtype:
+        return operand
+    v = _const_val(operand)
+    if v is not None:
+        return wrap_like(v, dtype)
+    return Cast(operand, dtype)
+
+
+def makeIntrinsic(name: str, args, dtype: DataType | None = None) -> Expr:
+    args = [wrap(a) for a in args]
+    if dtype is None:
+        dtype = args[0].dtype if args else DataType.FLOAT32
+        if name not in ("abs", "pow", "unbound_min", "unbound_max") \
+                and not dtype.is_float:
+            dtype = DataType.FLOAT32
+    if all(isinstance(a, Const) for a in args):
+        folded = _fold_intrinsic(name, [a.val for a in args])
+        if folded is not None:
+            return wrap_like(folded, dtype)
+    return Intrinsic(name, args, dtype)
+
+
+def _fold_intrinsic(name: str, vals):
+    try:
+        if name == "abs":
+            return abs(vals[0])
+        if name == "sqrt":
+            return math.sqrt(vals[0])
+        if name == "exp":
+            return math.exp(vals[0])
+        if name == "log":
+            return math.log(vals[0])
+        if name == "sin":
+            return math.sin(vals[0])
+        if name == "cos":
+            return math.cos(vals[0])
+        if name == "tan":
+            return math.tan(vals[0])
+        if name == "tanh":
+            return math.tanh(vals[0])
+        if name == "sigmoid":
+            return 1.0 / (1.0 + math.exp(-vals[0]))
+        if name == "floor":
+            return math.floor(vals[0])
+        if name == "ceil":
+            return math.ceil(vals[0])
+        if name == "pow":
+            return vals[0]**vals[1]
+        if name == "erf":
+            return math.erf(vals[0])
+    except (ValueError, OverflowError):
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Structural identity
+# ---------------------------------------------------------------------------
+
+
+def same_expr(a, b) -> bool:
+    """Whether two expressions (or Python scalars) are structurally equal."""
+    if not isinstance(a, Expr):
+        a = wrap(a)
+    if not isinstance(b, Expr):
+        b = wrap(b)
+    if isinstance(a, AnyExpr) or isinstance(b, AnyExpr):
+        return True
+    return a.key() == b.key()
+
+
+def all_reads(e: Expr):
+    """Yield every :class:`Load` in an expression tree."""
+    if isinstance(e, Load):
+        yield e
+    for c in e.children():
+        yield from all_reads(c)
+
+
+def all_vars(e: Expr):
+    """Yield the name of every :class:`Var` in an expression tree."""
+    if isinstance(e, Var):
+        yield e.name
+    for c in e.children():
+        yield from all_vars(c)
+
+
+def all_loaded_tensors(e: Expr):
+    """Yield the name of every tensor read by an expression."""
+    for load in all_reads(e):
+        yield load.var

@@ -1,0 +1,152 @@
+"""Human-readable pretty printer for the IR.
+
+The output format is stable and used by golden tests; it is also parseable
+back by ``repro.ir.parser`` for round-trip testing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import expr as E
+from . import stmt as S
+
+# Higher binds tighter. Mirrors Python precedence for the operators we print
+# infix; min/max/intrinsics print as calls and need no precedence.
+_PREC = {
+    E.LOr: 1,
+    E.LAnd: 2,
+    E.LT: 4,
+    E.LE: 4,
+    E.GT: 4,
+    E.GE: 4,
+    E.EQ: 4,
+    E.NE: 4,
+    E.Add: 5,
+    E.Sub: 5,
+    E.Mul: 6,
+    E.RealDiv: 6,
+    E.FloorDiv: 6,
+    E.Mod: 6,
+}
+
+
+def print_expr(e: E.Expr, prec: int = 0) -> str:
+    """Render an expression; parenthesised per ``prec`` context."""
+    if isinstance(e, E.IntConst):
+        return str(e.val)
+    if isinstance(e, E.BoolConst):
+        return "true" if e.val else "false"
+    if isinstance(e, E.FloatConst):
+        if math.isinf(e.val):
+            return "inf" if e.val > 0 else "-inf"
+        return repr(e.val)
+    if isinstance(e, E.Var):
+        return e.name
+    if isinstance(e, E.Load):
+        if not e.indices:
+            return e.var
+        return f"{e.var}[{', '.join(print_expr(i) for i in e.indices)}]"
+    if isinstance(e, (E.Min, E.Max)):
+        name = "min" if isinstance(e, E.Min) else "max"
+        return f"{name}({print_expr(e.lhs)}, {print_expr(e.rhs)})"
+    if isinstance(e, E.BinOp):
+        p = _PREC[type(e)]
+        text = (f"{print_expr(e.lhs, p)} {e.op_name} "
+                f"{print_expr(e.rhs, p + 1)}")
+        return f"({text})" if p < prec else text
+    if isinstance(e, E.LNot):
+        return f"!{print_expr(e.operand, 7)}"
+    if isinstance(e, E.IfExpr):
+        text = (f"{print_expr(e.cond, 1)} ? {print_expr(e.then_case, 1)}"
+                f" : {print_expr(e.else_case, 1)}")
+        return f"({text})" if prec > 0 else text
+    if isinstance(e, E.Cast):
+        return f"{e.dtype}({print_expr(e.operand)})"
+    if isinstance(e, E.Intrinsic):
+        return f"{e.name}({', '.join(print_expr(a) for a in e.args)})"
+    if isinstance(e, E.AnyExpr):
+        return "<any>"
+    raise TypeError(f"cannot print {type(e).__name__}")  # pragma: no cover
+
+
+def _label_prefix(s: S.Stmt) -> str:
+    return f"{s.label}: " if s.label else ""
+
+
+def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False) -> str:
+    """Render a statement tree as an indented block of pseudo-code."""
+    pad = "  " * indent
+    idc = f"  /* {s.sid} */" if show_ids else ""
+    lp = _label_prefix(s)
+
+    if isinstance(s, S.StmtSeq):
+        if not s.stmts:
+            return f"{pad}{lp}{{}}{idc}\n"
+        return "".join(print_ast(c, indent, show_ids) for c in s.stmts)
+    if isinstance(s, S.VarDef):
+        shape = ", ".join(print_expr(d) for d in s.shape)
+        head = (f"{pad}{lp}@{s.atype} {s.name}: {s.dtype}[{shape}]"
+                f" @{s.mtype} {{{idc}\n")
+        return head + print_ast(s.body, indent + 1, show_ids) + f"{pad}}}\n"
+    if isinstance(s, S.For):
+        props = []
+        if s.property.parallel:
+            props.append(f" /*parallel={s.property.parallel}*/")
+        if s.property.unroll:
+            props.append(" /*unroll*/")
+        if s.property.vectorize:
+            props.append(" /*vectorize*/")
+        head = (f"{pad}{lp}for {s.iter_var} in "
+                f"{print_expr(s.begin)}:{print_expr(s.end)}"
+                f"{''.join(props)} {{{idc}\n")
+        return head + print_ast(s.body, indent + 1, show_ids) + f"{pad}}}\n"
+    if isinstance(s, S.If):
+        out = (f"{pad}{lp}if {print_expr(s.cond)} {{{idc}\n" +
+               print_ast(s.then_case, indent + 1, show_ids) + f"{pad}}}")
+        if s.else_case is not None:
+            out += " else {\n" + print_ast(s.else_case, indent + 1,
+                                           show_ids) + f"{pad}}}"
+        return out + "\n"
+    if isinstance(s, S.Store):
+        target = s.var
+        if s.indices:
+            target += f"[{', '.join(print_expr(i) for i in s.indices)}]"
+        return f"{pad}{lp}{target} = {print_expr(s.expr)}{idc}\n"
+    if isinstance(s, S.ReduceTo):
+        target = s.var
+        if s.indices:
+            target += f"[{', '.join(print_expr(i) for i in s.indices)}]"
+        at = " /*atomic*/" if s.atomic else ""
+        if s.op in ("+", "*"):
+            return f"{pad}{lp}{target} {s.op}= {print_expr(s.expr)}{at}{idc}\n"
+        return (f"{pad}{lp}{target} = {s.op}({target}, "
+                f"{print_expr(s.expr)}){at}{idc}\n")
+    if isinstance(s, S.Eval):
+        return f"{pad}{lp}eval {print_expr(s.expr)}{idc}\n"
+    if isinstance(s, S.Assert):
+        return (f"{pad}{lp}assert {print_expr(s.cond)} {{{idc}\n" +
+                print_ast(s.body, indent + 1, show_ids) + f"{pad}}}\n")
+    if isinstance(s, S.Alloc):
+        return f"{pad}alloc {s.var}{idc}\n"
+    if isinstance(s, S.Free):
+        return f"{pad}free {s.var}{idc}\n"
+    if isinstance(s, S.LibCall):
+        return (f"{pad}{lp}lib.{s.kind}({', '.join(s.outs)} <- "
+                f"{', '.join(s.args)}){idc}\n")
+    if isinstance(s, S.Any):
+        return f"{pad}<any>\n"
+    raise TypeError(f"cannot print {type(s).__name__}")  # pragma: no cover
+
+
+def dump(node, show_ids: bool = False) -> str:
+    """Render a :class:`Func`, statement or expression to text."""
+    if isinstance(node, S.Func):
+        params = list(node.params) + list(node.scalar_params)
+        header = f"func {node.name}({', '.join(params)})"
+        if node.returns:
+            header += f" -> {', '.join(node.returns)}"
+        return header + " {\n" + print_ast(node.body, 1, show_ids) + "}\n"
+    if isinstance(node, S.Stmt):
+        return print_ast(node, 0, show_ids)
+    return print_expr(node)

@@ -1,0 +1,185 @@
+"""Visitor and mutator infrastructure over the IR.
+
+:class:`Visitor` walks a tree read-only; :class:`Mutator` rebuilds the tree
+bottom-up, preserving each statement's ``sid`` and ``label`` so schedules
+applied earlier can still address statements after later transformations.
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from . import stmt as S
+
+
+class Visitor:
+    """Read-only traversal; override ``visit_<NodeClass>`` methods."""
+
+    def __call__(self, node):
+        return self.visit(node)
+
+    def visit(self, node):
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node):
+        if isinstance(node, S.Stmt):
+            for e in node.child_exprs():
+                self.visit(e)
+            for s in node.children_stmts():
+                self.visit(s)
+        elif isinstance(node, E.Expr):
+            for c in node.children():
+                self.visit(c)
+        elif isinstance(node, S.Func):
+            self.visit(node.body)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot visit {type(node).__name__}")
+
+
+def _copy_identity(old: S.Stmt, new: S.Stmt) -> S.Stmt:
+    new.sid = old.sid
+    new.label = old.label
+    return new
+
+
+class Mutator:
+    """Rebuilding traversal; override ``mutate_<NodeClass>`` methods.
+
+    Default behaviour reconstructs every statement from mutated children
+    (keeping sid/label) and returns expressions unchanged unless
+    ``mutate_expr`` is overridden.
+    """
+
+    def __call__(self, node):
+        if isinstance(node, S.Func):
+            return S.Func(node.name, list(node.params), list(node.returns),
+                          self.mutate_stmt(node.body),
+                          scalar_params=list(node.scalar_params))
+        if isinstance(node, S.Stmt):
+            return self.mutate_stmt(node)
+        return self.mutate_expr(node)
+
+    # -- expressions ----------------------------------------------------
+    def mutate_expr(self, e: E.Expr) -> E.Expr:
+        method = getattr(self, "mutate_" + type(e).__name__, None)
+        if method is not None:
+            return method(e)
+        return self.generic_mutate_expr(e)
+
+    #: binary nodes are rebuilt through their folding constructors so the
+    #: IR stays canonical (constants folded) after every mutation
+    _FOLDING = {
+        E.Add: E.makeAdd,
+        E.Sub: E.makeSub,
+        E.Mul: E.makeMul,
+        E.RealDiv: E.makeRealDiv,
+        E.FloorDiv: E.makeFloorDiv,
+        E.Mod: E.makeMod,
+        E.Min: E.makeMin,
+        E.Max: E.makeMax,
+        E.LAnd: E.makeLAnd,
+        E.LOr: E.makeLOr,
+    }
+
+    def generic_mutate_expr(self, e: E.Expr) -> E.Expr:
+        if isinstance(e, (E.Const, E.Var, E.AnyExpr)):
+            return e
+        if isinstance(e, E.Load):
+            idx = [self.mutate_expr(i) for i in e.indices]
+            return E.Load(e.var, idx, e.dtype)
+        if isinstance(e, E.CmpOp):
+            return E.makeCmp(type(e), self.mutate_expr(e.lhs),
+                             self.mutate_expr(e.rhs))
+        if isinstance(e, E.BinOp):
+            make = self._FOLDING.get(type(e))
+            if make is not None:
+                return make(self.mutate_expr(e.lhs), self.mutate_expr(e.rhs))
+            return type(e)(self.mutate_expr(e.lhs), self.mutate_expr(e.rhs))
+        if isinstance(e, E.LNot):
+            return E.makeLNot(self.mutate_expr(e.operand))
+        if isinstance(e, E.IfExpr):
+            return E.makeIfExpr(self.mutate_expr(e.cond),
+                                self.mutate_expr(e.then_case),
+                                self.mutate_expr(e.else_case))
+        if isinstance(e, E.Cast):
+            return E.makeCast(self.mutate_expr(e.operand), e.dtype)
+        if isinstance(e, E.Intrinsic):
+            return E.makeIntrinsic(e.name,
+                                   [self.mutate_expr(a) for a in e.args],
+                                   e.dtype)
+        raise TypeError(f"cannot mutate {type(e).__name__}")  # pragma: no cover
+
+    # -- statements -------------------------------------------------------
+    def mutate_stmt(self, s: S.Stmt) -> S.Stmt:
+        method = getattr(self, "mutate_" + type(s).__name__, None)
+        if method is not None:
+            return method(s)
+        return self.generic_mutate_stmt(s)
+
+    def generic_mutate_stmt(self, s: S.Stmt) -> S.Stmt:
+        if isinstance(s, S.StmtSeq):
+            return _copy_identity(
+                s, S.StmtSeq([self.mutate_stmt(c) for c in s.stmts]))
+        if isinstance(s, S.VarDef):
+            out = S.VarDef(s.name, [self.mutate_expr(d) for d in s.shape],
+                           s.dtype, s.atype, s.mtype, self.mutate_stmt(s.body),
+                           s.pinned)
+            out.init_data = s.init_data
+            return _copy_identity(s, out)
+        if isinstance(s, S.For):
+            return _copy_identity(
+                s,
+                S.For(s.iter_var, self.mutate_expr(s.begin),
+                      self.mutate_expr(s.end), self.mutate_stmt(s.body),
+                      s.property.clone()))
+        if isinstance(s, S.If):
+            else_case = (self.mutate_stmt(s.else_case)
+                         if s.else_case is not None else None)
+            return _copy_identity(
+                s,
+                S.If(self.mutate_expr(s.cond), self.mutate_stmt(s.then_case),
+                     else_case))
+        if isinstance(s, S.Store):
+            return _copy_identity(
+                s,
+                S.Store(s.var, [self.mutate_expr(i) for i in s.indices],
+                        self.mutate_expr(s.expr)))
+        if isinstance(s, S.ReduceTo):
+            return _copy_identity(
+                s,
+                S.ReduceTo(s.var, [self.mutate_expr(i) for i in s.indices],
+                           s.op, self.mutate_expr(s.expr), s.atomic))
+        if isinstance(s, S.Eval):
+            return _copy_identity(s, S.Eval(self.mutate_expr(s.expr)))
+        if isinstance(s, S.Assert):
+            return _copy_identity(
+                s, S.Assert(self.mutate_expr(s.cond), self.mutate_stmt(s.body)))
+        if isinstance(s, (S.Alloc, S.Free, S.Any)):
+            return s
+        if isinstance(s, S.LibCall):
+            return s
+        raise TypeError(f"cannot mutate {type(s).__name__}")  # pragma: no cover
+
+
+class ExprMutator(Mutator):
+    """A mutator that rewrites expressions with a single callable."""
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def mutate_expr(self, e: E.Expr) -> E.Expr:
+        out = self._fn(e)
+        if out is not None:
+            return out
+        return self.generic_mutate_expr(e)
+
+
+def map_exprs(node, fn):
+    """Rewrite every expression in ``node`` with ``fn``.
+
+    ``fn(expr)`` may return a replacement expression or ``None`` to recurse
+    into the expression's children.
+    """
+    return ExprMutator(fn)(node)

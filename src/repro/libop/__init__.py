@@ -1,0 +1,307 @@
+"""libop: a tensor operator library written in the DSL itself (paper 3.2).
+
+Every operator here is an ``@inline`` helper built from fine-grained loops
+and dimension-free recursion; calling one from a ``@transform``-ed function
+fully inlines it into the caller's IR, where it is optimised *together
+with* the surrounding program — unlike an operator-based framework where
+each call is an opaque kernel.
+
+Out-of-place operators (``add``, ``mul``, ``softmax``...) return a fresh
+tensor; in-place variants (``add_to``...) write into a destination.
+"""
+
+from ..frontend.staging import empty, inline, zeros
+from ..frontend.tensor import TensorRef, as_expr
+from ..ir import join_dtype
+
+__all__ = [
+    "assign", "add", "sub", "mul", "div", "add_to", "sub_to", "mul_to",
+    "div_to", "relu", "sigmoid", "tanh", "exp", "abs", "neg", "scale",
+    "sum_all", "sum_last", "max_all", "mean_all", "matmul", "matmul_to",
+    "softmax", "softmax_to", "transpose2d",
+]
+
+
+def _sub(x, i):
+    """Index tensors, broadcast scalars."""
+    if isinstance(x, TensorRef) and x.ndim > 0:
+        return x[i]
+    return x
+
+
+def _res_dtype(a, b):
+    da = a.dtype if isinstance(a, TensorRef) else as_expr(a).dtype
+    db = b.dtype if isinstance(b, TensorRef) else as_expr(b).dtype
+    return join_dtype(da, db).value
+
+
+def _shape_of(a, b):
+    t = a if isinstance(a, TensorRef) and a.ndim else b
+    return t.shape()
+
+
+# -- elementwise ------------------------------------------------------------
+
+
+@inline
+def assign(y, x):
+    """``y[...] = x`` element-wise (dimension-free recursion)."""
+    if y.ndim == 0:
+        y[...] = x
+    else:
+        for i in range(y.shape(0)):
+            assign(y[i], _sub(x, i))
+
+
+def _make_binary(op_name, fn):
+
+    @inline
+    def op_to(y, a, b):
+        if y.ndim == 0:
+            y[...] = fn(a, b)
+        else:
+            for i in range(y.shape(0)):
+                op_to(y[i], _sub(a, i), _sub(b, i))
+
+    op_to.__name__ = op_name + "_to"
+    op_to.__doc__ = f"In-place element-wise ``y = a {op_name} b``."
+
+    @inline
+    def op(a, b):
+        y = empty(_shape_of(a, b), _res_dtype(a, b))
+        op_to(y, a, b)
+        return y
+
+    op.__name__ = op_name
+    op.__doc__ = f"Element-wise ``a {op_name} b`` into a fresh tensor."
+    return op, op_to
+
+
+add, add_to = _make_binary("add", lambda a, b: a + b)
+sub, sub_to = _make_binary("sub", lambda a, b: a - b)
+mul, mul_to = _make_binary("mul", lambda a, b: a * b)
+div, div_to = _make_binary("div", lambda a, b: a / b)
+
+
+def _make_unary(op_name, fn):
+
+    @inline
+    def op_to(y, x):
+        if y.ndim == 0:
+            y[...] = fn(x)
+        else:
+            for i in range(y.shape(0)):
+                op_to(y[i], x[i])
+
+    @inline
+    def op(x):
+        y = empty(x.shape(), x.dtype.value)
+        op_to(y, x)
+        return y
+
+    op.__name__ = op_name
+    op.__doc__ = f"Element-wise ``{op_name}`` into a fresh tensor."
+    return op
+
+
+def _relu(x):
+    from ..frontend.tensor import ft_max
+
+    return ft_max(x, 0.0)
+
+
+def _sigmoid(x):
+    from ..frontend.tensor import sigmoid as sg
+
+    return sg(as_expr(x))
+
+
+def _tanh(x):
+    from ..frontend.tensor import tanh as th
+
+    return th(as_expr(x))
+
+
+def _exp(x):
+    from ..frontend.tensor import exp as ex
+
+    return ex(as_expr(x))
+
+
+def _abs(x):
+    from ..frontend.tensor import ft_abs
+
+    return ft_abs(as_expr(x))
+
+
+relu = _make_unary("relu", _relu)
+sigmoid = _make_unary("sigmoid", _sigmoid)
+tanh = _make_unary("tanh", _tanh)
+exp = _make_unary("exp", _exp)
+abs = _make_unary("abs", _abs)  # noqa: A001 - mirrors the paper's libop
+neg = _make_unary("neg", lambda x: -as_expr(x))
+
+
+@inline
+def scale(x, k):
+    """``x * k`` for a scalar ``k`` into a fresh tensor."""
+    y = empty(x.shape(), x.dtype.value)
+    _scale_to(y, x, k)
+    return y
+
+
+@inline
+def _scale_to(y, x, k):
+    if y.ndim == 0:
+        y[...] = x * k
+    else:
+        for i in range(y.shape(0)):
+            _scale_to(y[i], x[i], k)
+
+
+# -- reductions ---------------------------------------------------------------
+
+
+@inline
+def _sum_into(acc, x):
+    if x.ndim == 0:
+        acc[...] += x
+    else:
+        for i in range(x.shape(0)):
+            _sum_into(acc, x[i])
+
+
+@inline
+def sum_all(x):
+    """Sum of all elements, as a 0-D tensor."""
+    acc = zeros((), x.dtype.value)
+    _sum_into(acc, x)
+    return acc
+
+
+@inline
+def _count(x):
+    n = 1
+    for d in x.shape():
+        n = n * d
+    return n
+
+
+@inline
+def mean_all(x):
+    """Mean of all elements, as a 0-D tensor."""
+    s = sum_all(x)
+    y = empty((), "f32")
+    y[...] = s / _count(x)
+    return y
+
+
+@inline
+def _max_into(acc, x):
+    from ..frontend.tensor import ft_max
+
+    if x.ndim == 0:
+        acc[...] = ft_max(acc, x)
+    else:
+        for i in range(x.shape(0)):
+            _max_into(acc, x[i])
+
+
+@inline
+def max_all(x):
+    """Maximum over all elements, as a 0-D tensor."""
+    acc = empty((), x.dtype.value)
+    acc[...] = -float("inf")
+    _max_into(acc, x)
+    return acc
+
+
+@inline
+def sum_last(x):
+    """Sum over the last axis (any dimensionality)."""
+    if x.ndim == 1:
+        return sum_all(x)
+    y = empty(x.shape()[:-1], x.dtype.value)
+    _sum_last_to(y, x)
+    return y
+
+
+@inline
+def _sum_last_to(y, x):
+    if x.ndim == 1:
+        y[...] = 0.0
+        for i in range(x.shape(0)):
+            y[...] += x[i]
+    else:
+        for i in range(x.shape(0)):
+            _sum_last_to(y[i], x[i])
+
+
+# -- matrix multiplication ------------------------------------------------------
+
+
+@inline
+def matmul_to(c, a, b, accumulate=False):
+    """``c (+)= a @ b`` for 2-D operands."""
+    assert a.ndim == 2 and b.ndim == 2 and c.ndim == 2
+    if not accumulate:
+        assign(c, 0.0)
+    for i in range(a.shape(0)):
+        for j in range(b.shape(1)):
+            for k in range(a.shape(1)):
+                c[i, j] += a[i, k] * b[k, j]
+
+
+@inline
+def matmul(a, b):
+    """``a @ b`` into a fresh 2-D tensor."""
+    c = empty((a.shape(0), b.shape(1)), _res_dtype(a, b))
+    matmul_to(c, a, b)
+    return c
+
+
+@inline
+def transpose2d(a):
+    """Transpose of a 2-D tensor (fresh storage)."""
+    y = empty((a.shape(1), a.shape(0)), a.dtype.value)
+    for i in range(a.shape(0)):
+        for j in range(a.shape(1)):
+            y[j, i] = a[i, j]
+    return y
+
+
+# -- softmax ----------------------------------------------------------------------
+
+
+@inline
+def softmax_to(y, x):
+    """Numerically-stable softmax over the last axis, into ``y``."""
+    from ..frontend.tensor import ft_max
+    from ..frontend.tensor import exp as fexp
+
+    if x.ndim == 1:
+        mx = empty((), x.dtype.value)
+        mx[...] = -float("inf")
+        for i in range(x.shape(0)):
+            mx[...] = ft_max(mx, x[i])
+        # exponentials go through a scratch tensor (not in-place in y):
+        # every tensor keeps one live version per instance, which is what
+        # both the dependence analysis and AD versioning like to see
+        e = empty((x.shape(0),), x.dtype.value)
+        s = zeros((), x.dtype.value)
+        for i in range(x.shape(0)):
+            e[i] = fexp(x[i] - mx)
+            s[...] += e[i]
+        for i in range(x.shape(0)):
+            y[i] = e[i] / s
+    else:
+        for i in range(x.shape(0)):
+            softmax_to(y[i], x[i])
+
+
+@inline
+def softmax(x):
+    """Numerically-stable softmax over the last axis (fresh tensor)."""
+    y = empty(x.shape(), x.dtype.value)
+    softmax_to(y, x)
+    return y

@@ -1,0 +1,25 @@
+"""Lowering passes applied between staging and code generation."""
+
+from .cleanup import remove_dead_writes
+from .flatten import flatten_stmt_seq
+from .make_reduction import make_reduction
+from .prune import prune_branches
+from .simplify_pass import simplify, simplify_expr
+
+
+def lower(func):
+    """The standard lowering pipeline (no scheduling decisions):
+    flatten statement sequences, canonicalise self-updates into
+    reductions, fold/simplify expressions and control flow, and drop dead
+    writes."""
+    func = flatten_stmt_seq(func)
+    func = make_reduction(func)
+    func = simplify(func)
+    func = remove_dead_writes(func)
+    return func
+
+
+__all__ = [
+    "flatten_stmt_seq", "make_reduction", "prune_branches",
+    "remove_dead_writes", "simplify", "simplify_expr", "lower",
+]

@@ -1,0 +1,176 @@
+"""Rebuild expressions through folding constructors and prune dead control
+flow (constant conditions, empty or single-iteration loops)."""
+
+from __future__ import annotations
+
+from ..ir import (BoolConst, Expr, If, IntConst, For, Mutator, Stmt, StmtSeq,
+                  makeAdd, makeCast, makeCmp, makeFloorDiv, makeIfExpr,
+                  makeIntrinsic, makeLAnd, makeLNot, makeLOr, makeMax,
+                  makeMin, makeMod, makeMul, makeRealDiv, makeSub, substitute)
+from ..ir import expr as E
+
+_REBUILD_BIN = {
+    E.Add: makeAdd,
+    E.Sub: makeSub,
+    E.Mul: makeMul,
+    E.RealDiv: makeRealDiv,
+    E.FloorDiv: makeFloorDiv,
+    E.Mod: makeMod,
+    E.Min: makeMin,
+    E.Max: makeMax,
+    E.LAnd: makeLAnd,
+    E.LOr: makeLOr,
+}
+
+
+def _linearize(e: Expr):
+    """Decompose an integer expression into (const, {atom_key: (coeff,
+    atom_expr)}); atoms are maximal non-linear subtrees."""
+    if isinstance(e, E.IntConst):
+        return e.val, {}
+    if isinstance(e, E.Add):
+        c1, t1 = _linearize(e.lhs)
+        c2, t2 = _linearize(e.rhs)
+        return c1 + c2, _merge_terms(t1, t2, 1)
+    if isinstance(e, E.Sub):
+        c1, t1 = _linearize(e.lhs)
+        c2, t2 = _linearize(e.rhs)
+        return c1 - c2, _merge_terms(t1, t2, -1)
+    if isinstance(e, E.Mul):
+        if isinstance(e.lhs, E.IntConst):
+            c, t = _linearize(e.rhs)
+            k = e.lhs.val
+            return c * k, {kk: (co * k, a) for kk, (co, a) in t.items()}
+        if isinstance(e.rhs, E.IntConst):
+            c, t = _linearize(e.lhs)
+            k = e.rhs.val
+            return c * k, {kk: (co * k, a) for kk, (co, a) in t.items()}
+    return 0, {e.key(): (1, e)}
+
+
+def _merge_terms(t1, t2, sign):
+    out = dict(t1)
+    for k, (c, a) in t2.items():
+        c0 = out.get(k, (0, a))[0]
+        out[k] = (c0 + sign * c, a)
+    return out
+
+
+def _relinearize(e: Expr) -> Expr:
+    """Canonicalise integer +/-/const* chains, cancelling equal terms."""
+    if not e.dtype.is_int or not isinstance(e, (E.Add, E.Sub, E.Mul)):
+        return e
+    const, terms = _linearize(e)
+    parts = [(c, a) for c, a in
+             (terms[k] for k in sorted(terms, key=repr)) if c != 0]
+    if len(parts) + (const != 0) >= _size_of(e):
+        return e  # no simplification achieved; keep user structure
+    out = None
+    for c, a in parts:
+        piece = a if c == 1 else makeMul(wrap_int(c, e), a)
+        if c < 0 and out is not None:
+            out = makeSub(out, a if c == -1 else
+                          makeMul(wrap_int(-c, e), a))
+        else:
+            out = piece if out is None else makeAdd(out, piece)
+    if out is None:
+        return wrap_int(const, e)
+    if const > 0:
+        out = makeAdd(out, wrap_int(const, e))
+    elif const < 0:
+        out = makeSub(out, wrap_int(-const, e))
+    return out
+
+
+def wrap_int(v, like: Expr):
+    from ..ir import wrap_like
+
+    return wrap_like(v, like.dtype)
+
+
+def _size_of(e: Expr) -> int:
+    n = 1
+    for c in e.children():
+        n += _size_of(c)
+    return n
+
+
+class _Simplify(Mutator):
+    """One bottom-up folding sweep over expressions and control flow."""
+
+    def mutate_expr(self, e: Expr) -> Expr:
+        cls = type(e)
+        if cls in _REBUILD_BIN:
+            out = _REBUILD_BIN[cls](self.mutate_expr(e.lhs),
+                                    self.mutate_expr(e.rhs))
+            return _relinearize(out)
+        if isinstance(e, E.CmpOp):
+            return makeCmp(cls, self.mutate_expr(e.lhs),
+                           self.mutate_expr(e.rhs))
+        if isinstance(e, E.LNot):
+            return makeLNot(self.mutate_expr(e.operand))
+        if isinstance(e, E.IfExpr):
+            return makeIfExpr(self.mutate_expr(e.cond),
+                              self.mutate_expr(e.then_case),
+                              self.mutate_expr(e.else_case))
+        if isinstance(e, E.Cast):
+            return makeCast(self.mutate_expr(e.operand), e.dtype)
+        if isinstance(e, E.Intrinsic):
+            return makeIntrinsic(e.name,
+                                 [self.mutate_expr(a) for a in e.args],
+                                 e.dtype)
+        return super().generic_mutate_expr(e)
+
+    def mutate_If(self, s: If) -> Stmt:
+        cond = self.mutate_expr(s.cond)
+        if isinstance(cond, BoolConst):
+            if cond.val:
+                return self.mutate_stmt(s.then_case)
+            if s.else_case is not None:
+                return self.mutate_stmt(s.else_case)
+            return StmtSeq([])
+        else_case = (self.mutate_stmt(s.else_case)
+                     if s.else_case is not None else None)
+        if else_case is not None and isinstance(else_case, StmtSeq) \
+                and not else_case.stmts:
+            else_case = None
+        out = If(cond, self.mutate_stmt(s.then_case), else_case)
+        out.sid, out.label = s.sid, s.label
+        return out
+
+    def mutate_For(self, s: For) -> Stmt:
+        begin = self.mutate_expr(s.begin)
+        end = self.mutate_expr(s.end)
+        if isinstance(begin, IntConst) and isinstance(end, IntConst):
+            if end.val <= begin.val:
+                return StmtSeq([])
+            if end.val == begin.val + 1:
+                body = self.mutate_stmt(s.body)
+                return self.mutate_stmt(
+                    substitute(body, {s.iter_var: begin}))
+        body = self.mutate_stmt(s.body)
+        if isinstance(body, StmtSeq) and not body.stmts:
+            return StmtSeq([])
+        out = For(s.iter_var, begin, end, body, s.property.clone())
+        out.sid, out.label = s.sid, s.label
+        return out
+
+
+def simplify_expr(e: Expr) -> Expr:
+    """Fold and canonicalise a single expression."""
+    return _Simplify().mutate_expr(e)
+
+
+def simplify(node):
+    """Iterate folding sweeps to a fixed point (bounded)."""
+    from ..ir import count_nodes
+
+    for _round in range(10):
+        before = count_nodes(node)
+        node = _Simplify()(node)
+        from .flatten import flatten_stmt_seq
+
+        node = flatten_stmt_seq(node)
+        if count_nodes(node) == before:
+            break
+    return node

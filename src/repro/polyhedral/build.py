@@ -1,0 +1,129 @@
+"""Translate IR expressions into affine form for the Presburger engine.
+
+``FloorDiv`` and ``Mod`` by positive constants are linearised exactly with
+an existential quotient (this is what makes accesses like ``(j + 1) % 3``
+analysable). Anything non-affine (data-dependent indices such as
+``adj[i, j]``, products of iterators, float arithmetic) is reported to the
+caller, which models it conservatively as an unconstrained value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import expr as E
+from .linear import Affine, LinCon, fresh_var
+
+
+class NonAffine(Exception):
+    """The expression cannot be represented affinely."""
+
+
+class AffineBuilder:
+    """Builds Affine forms, accumulating existentials for div/mod."""
+
+    def __init__(self, rename: Optional[Dict[str, str]] = None):
+        self.rename = rename or {}
+        self.extra_cons: List[LinCon] = []
+        self.exists: List[str] = []
+
+    def build(self, e: E.Expr) -> Affine:
+        if isinstance(e, E.IntConst):
+            return Affine.constant(e.val)
+        if isinstance(e, E.BoolConst):
+            return Affine.constant(int(e.val))
+        if isinstance(e, E.Var):
+            return Affine.var(self.rename.get(e.name, e.name))
+        if isinstance(e, E.Add):
+            return self.build(e.lhs) + self.build(e.rhs)
+        if isinstance(e, E.Sub):
+            return self.build(e.lhs) - self.build(e.rhs)
+        if isinstance(e, E.Mul):
+            if isinstance(e.lhs, E.IntConst):
+                return self.build(e.rhs) * e.lhs.val
+            if isinstance(e.rhs, E.IntConst):
+                return self.build(e.lhs) * e.rhs.val
+            raise NonAffine(e)
+        if isinstance(e, E.FloorDiv):
+            return self._quotient(e)[0]
+        if isinstance(e, E.Mod):
+            a, c, q = self._quotient(e)
+            del a
+            return c - q  # value = dividend - divisor*quotient
+        if isinstance(e, E.Min):
+            raise NonAffine(e)
+        if isinstance(e, E.Max):
+            raise NonAffine(e)
+        raise NonAffine(e)
+
+    def _quotient(self, e):
+        """Linearise ``a // d`` / ``a % d`` for a positive constant d.
+
+        Returns (quotient_affine, dividend_affine, divisor*quotient_affine).
+        """
+        if not isinstance(e.rhs, E.IntConst) or e.rhs.val <= 0:
+            raise NonAffine(e)
+        d = e.rhs.val
+        a = self.build(e.lhs)
+        q = fresh_var("q")
+        self.exists.append(q)
+        qa = Affine.var(q)
+        # a - d*q in [0, d)
+        self.extra_cons.append(LinCon.ge0(a - qa * d))
+        self.extra_cons.append(LinCon.ge0(qa * d - a + (d - 1)))
+        return qa, a, qa * d
+
+    # -- conditions -----------------------------------------------------------
+    def build_condition(self, e: E.Expr,
+                        negate: bool = False) -> List[List[LinCon]]:
+        """Translate a boolean expression to a disjunction of conjunctions.
+
+        Raises :class:`NonAffine` for conditions the engine cannot model.
+        """
+        if isinstance(e, E.LNot):
+            return self.build_condition(e.operand, not negate)
+        if isinstance(e, E.LAnd) and not negate or \
+                isinstance(e, E.LOr) and negate:
+            left = self.build_condition(e.lhs, negate)
+            right = self.build_condition(e.rhs, negate)
+            return [l + r for l in left for r in right]
+        if isinstance(e, E.LOr) and not negate or \
+                isinstance(e, E.LAnd) and negate:
+            return (self.build_condition(e.lhs, negate) +
+                    self.build_condition(e.rhs, negate))
+        if isinstance(e, E.CmpOp):
+            a = self.build(e.lhs)
+            b = self.build(e.rhs)
+            cls = type(e)
+            if negate:
+                cls = {E.LT: E.GE, E.LE: E.GT, E.GT: E.LE, E.GE: E.LT,
+                       E.EQ: E.NE, E.NE: E.EQ}[cls]
+            if cls is E.LT:
+                return [[LinCon.lt(a, b)]]
+            if cls is E.LE:
+                return [[LinCon.le(a, b)]]
+            if cls is E.GT:
+                return [[LinCon.gt(a, b)]]
+            if cls is E.GE:
+                return [[LinCon.ge(a, b)]]
+            if cls is E.EQ:
+                return [[LinCon.eq(a, b)]]
+            # NE: a < b or a > b
+            return [[LinCon.lt(a, b)], [LinCon.gt(a, b)]]
+        if isinstance(e, E.BoolConst):
+            val = e.val != negate
+            if val:
+                return [[]]
+            # unsatisfiable conjunction
+            return [[LinCon.ge0(Affine.constant(-1))]]
+        raise NonAffine(e)
+
+
+def try_affine(e: E.Expr, rename=None):
+    """Affine form of ``e`` or None; returns (affine, extra_cons, exists)."""
+    b = AffineBuilder(rename)
+    try:
+        a = b.build(e)
+    except NonAffine:
+        return None
+    return a, b.extra_cons, b.exists

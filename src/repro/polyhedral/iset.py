@@ -1,0 +1,231 @@
+"""Presburger sets and maps (unions of basic conjunctions).
+
+A :class:`BasicSet` is a conjunction of affine constraints over named
+dimensions, existential variables, and free symbolic parameters (any
+variable mentioned in a constraint but not declared is a parameter).
+A :class:`BasicMap` relates an input tuple to an output tuple the same way.
+Unions (:class:`ISet`, :class:`IMap`) give the full Presburger algebra the
+dependence analyser needs: intersect, compose, reverse, project, apply,
+lexicographic ordering, and exact emptiness via the Omega test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .linear import Affine, LinCon, fresh_var
+from .omega import is_feasible
+
+
+def _rename_exists(cons, exists):
+    """Freshen existential names so concatenated systems cannot clash."""
+    mapping = {e: fresh_var("e") for e in exists}
+    return ([c.rename(mapping) for c in cons],
+            tuple(mapping[e] for e in exists))
+
+
+class BasicSet:
+    """A conjunction of constraints over named dimensions."""
+
+    __slots__ = ("dims", "cons", "exists")
+
+    def __init__(self, dims: Sequence[str], cons: Iterable[LinCon] = (),
+                 exists: Sequence[str] = ()):
+        self.dims = tuple(dims)
+        self.cons = tuple(cons)
+        self.exists = tuple(exists)
+
+    def is_empty(self) -> bool:
+        return not is_feasible(self.cons)
+
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        assert self.dims == other.dims, "dimension mismatch"
+        oc, oe = _rename_exists(other.cons, other.exists)
+        return BasicSet(self.dims, list(self.cons) + oc,
+                        self.exists + oe)
+
+    def project_out(self, names: Iterable[str]) -> "BasicSet":
+        names = set(names)
+        return BasicSet([d for d in self.dims if d not in names], self.cons,
+                        self.exists + tuple(n for n in self.dims
+                                            if n in names))
+
+    def rename_dims(self, mapping: Dict[str, str]) -> "BasicSet":
+        return BasicSet([mapping.get(d, d) for d in self.dims],
+                        [c.rename(mapping) for c in self.cons], self.exists)
+
+    def with_constraints(self, extra: Iterable[LinCon]) -> "BasicSet":
+        return BasicSet(self.dims, list(self.cons) + list(extra),
+                        self.exists)
+
+    def __repr__(self):
+        return (f"{{ [{', '.join(self.dims)}] : "
+                f"{' and '.join(map(repr, self.cons))} }}")
+
+
+class ISet:
+    """A finite union of BasicSets over the same dimensions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[BasicSet]):
+        self.parts = tuple(parts)
+
+    @staticmethod
+    def universe(dims: Sequence[str]) -> "ISet":
+        return ISet([BasicSet(dims)])
+
+    @staticmethod
+    def empty(dims: Sequence[str]) -> "ISet":
+        return ISet([])
+
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.parts)
+
+    def intersect(self, other: "ISet") -> "ISet":
+        return ISet([a.intersect(b) for a in self.parts
+                     for b in other.parts])
+
+    def union(self, other: "ISet") -> "ISet":
+        return ISet(list(self.parts) + list(other.parts))
+
+    def project_out(self, names) -> "ISet":
+        return ISet([p.project_out(names) for p in self.parts])
+
+    def __repr__(self):
+        return " u ".join(map(repr, self.parts)) or "{}"
+
+
+class BasicMap:
+    """A conjunction of constraints relating input dims to output dims."""
+
+    __slots__ = ("in_dims", "out_dims", "cons", "exists")
+
+    def __init__(self, in_dims: Sequence[str], out_dims: Sequence[str],
+                 cons: Iterable[LinCon] = (), exists: Sequence[str] = ()):
+        self.in_dims = tuple(in_dims)
+        self.out_dims = tuple(out_dims)
+        overlap = set(self.in_dims) & set(self.out_dims)
+        assert not overlap, f"in/out dims overlap: {overlap}"
+        self.cons = tuple(cons)
+        self.exists = tuple(exists)
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def from_affine(in_dims: Sequence[str], out_exprs: Sequence[Affine],
+                    domain_cons: Iterable[LinCon] = (),
+                    out_prefix: str = "o") -> "BasicMap":
+        """The map ``[ins] -> [out_exprs(ins)]`` restricted to a domain."""
+        out_dims = [f"{out_prefix}{i}" for i in range(len(out_exprs))]
+        cons = list(domain_cons)
+        for d, e in zip(out_dims, out_exprs):
+            cons.append(LinCon.eq(Affine.var(d), e))
+        return BasicMap(in_dims, out_dims, cons)
+
+    # -- algebra ---------------------------------------------------------------
+    def reverse(self) -> "BasicMap":
+        return BasicMap(self.out_dims, self.in_dims, self.cons, self.exists)
+
+    def is_empty(self) -> bool:
+        return not is_feasible(self.cons)
+
+    def intersect(self, other: "BasicMap") -> "BasicMap":
+        assert self.in_dims == other.in_dims
+        assert self.out_dims == other.out_dims
+        oc, oe = _rename_exists(other.cons, other.exists)
+        return BasicMap(self.in_dims, self.out_dims,
+                        list(self.cons) + oc, self.exists + oe)
+
+    def compose(self, inner: "BasicMap") -> "BasicMap":
+        """``self ∘ inner``: first ``inner``, then ``self``.
+
+        ``inner.out_dims`` unify with ``self.in_dims`` (positionally) and
+        become existentials.
+        """
+        assert len(inner.out_dims) == len(self.in_dims)
+        mid = [fresh_var("m") for _ in self.in_dims]
+        inner_map = dict(zip(inner.out_dims, mid))
+        self_map = dict(zip(self.in_dims, mid))
+        # inner's in dims must not clash with self's out dims
+        ic, ie = _rename_exists(
+            [c.rename(inner_map) for c in inner.cons], inner.exists)
+        sc, se = _rename_exists(
+            [c.rename(self_map) for c in self.cons], self.exists)
+        return BasicMap(inner.in_dims, self.out_dims, ic + sc,
+                        tuple(mid) + ie + se)
+
+    def domain(self) -> BasicSet:
+        return BasicSet(self.in_dims, self.cons,
+                        self.exists + self.out_dims)
+
+    def range(self) -> BasicSet:
+        return BasicSet(self.out_dims, self.cons,
+                        self.exists + self.in_dims)
+
+    def as_set(self) -> BasicSet:
+        return BasicSet(self.in_dims + self.out_dims, self.cons, self.exists)
+
+    def with_constraints(self, extra) -> "BasicMap":
+        return BasicMap(self.in_dims, self.out_dims,
+                        list(self.cons) + list(extra), self.exists)
+
+    def rename(self, mapping: Dict[str, str]) -> "BasicMap":
+        return BasicMap([mapping.get(d, d) for d in self.in_dims],
+                        [mapping.get(d, d) for d in self.out_dims],
+                        [c.rename(mapping) for c in self.cons], self.exists)
+
+    def __repr__(self):
+        return (f"{{ [{', '.join(self.in_dims)}] -> "
+                f"[{', '.join(self.out_dims)}] : "
+                f"{' and '.join(map(repr, self.cons))} }}")
+
+
+class IMap:
+    """A finite union of BasicMaps."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[BasicMap]):
+        self.parts = tuple(parts)
+
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.parts)
+
+    def reverse(self) -> "IMap":
+        return IMap([p.reverse() for p in self.parts])
+
+    def intersect(self, other: "IMap") -> "IMap":
+        return IMap([a.intersect(b) for a in self.parts
+                     for b in other.parts])
+
+    def union(self, other: "IMap") -> "IMap":
+        return IMap(list(self.parts) + list(other.parts))
+
+    def compose(self, inner: "IMap") -> "IMap":
+        return IMap([a.compose(b) for a in self.parts
+                     for b in inner.parts])
+
+    def __repr__(self):
+        return " u ".join(map(repr, self.parts)) or "{}"
+
+
+def lex_gt_constraints(a_dims: Sequence[str],
+                       b_dims: Sequence[str]) -> List[List[LinCon]]:
+    """Constraint alternatives for ``a >lex b`` (disjunction of
+    conjunctions). Tuples must have equal length."""
+    assert len(a_dims) == len(b_dims)
+    out: List[List[LinCon]] = []
+    for k in range(len(a_dims)):
+        cons = [LinCon.eq(Affine.var(a), Affine.var(b))
+                for a, b in zip(a_dims[:k], b_dims[:k])]
+        cons.append(LinCon.gt(Affine.var(a_dims[k]), Affine.var(b_dims[k])))
+        out.append(cons)
+    return out
+
+
+def eq_constraints(a_dims: Sequence[str],
+                   b_dims: Sequence[str]) -> List[LinCon]:
+    """Constraints for component-wise equality of two tuples."""
+    assert len(a_dims) == len(b_dims)
+    return [LinCon.eq(Affine.var(a), Affine.var(b))
+            for a, b in zip(a_dims, b_dims)]

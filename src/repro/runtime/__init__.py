@@ -1,0 +1,6 @@
+"""Runtime: drivers, interpreters, metric collectors, simulated devices."""
+
+from .driver import Executable, build, register_backend
+from .interpreter import Interpreter
+
+__all__ = ["Executable", "build", "register_backend", "Interpreter"]

@@ -1,0 +1,245 @@
+"""Driver: binds NumPy arrays to IR parameters and runs a backend.
+
+``build(program_or_func, target=..., backend=...)`` returns an
+:class:`Executable`. Calling it:
+
+1. binds positional NumPy arrays to the function's tensor parameters that
+   require caller data (``input`` / ``inout``);
+2. infers by-value scalar parameters (symbolic shape variables) by unifying
+   declared shapes with the actual array shapes — explicit keyword arguments
+   override / supplement inference;
+3. allocates ``output`` parameters and returned tensors;
+4. runs the backend and returns the outputs (a single array or a tuple).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import BackendError, InvalidProgram
+from ..ir import (AccessType, Const, Expr, Func, IntConst, Var, VarDef,
+                  defined_tensors)
+from ..frontend.staging import Program
+
+#: registry of backend builders: name -> callable(func, **opts) -> run(env)
+_BACKENDS = {}
+
+
+def register_backend(name: str):
+
+    def deco(fn):
+        _BACKENDS[name] = fn
+        return fn
+
+    return deco
+
+
+@register_backend("interp")
+def _build_interp(func: Func, metrics=None, **_opts):
+    from .interpreter import Interpreter
+
+    interp = Interpreter(metrics=metrics)
+
+    def run(env):
+        interp.run(func, env)
+
+    return run
+
+
+@register_backend("pycode")
+def _build_pycode(func: Func, **_opts):
+    from ..codegen.pycode import compile_func
+
+    kernel = compile_func(func)
+    interface = func.interface_tensors()
+
+    def run(env):
+        args = [env[p] for p in interface]
+        args += [env[p] for p in func.scalar_params]
+        kernel(*args)
+
+    run.__ft_source__ = kernel.__ft_source__
+    return run
+
+
+@register_backend("c")
+def _build_c(func: Func, **opts):
+    from ..codegen.ccode import compile_func_native
+
+    native = compile_func_native(func, **opts)
+
+    def run(env):
+        native(env)
+
+    run.__ft_source__ = native.__ft_source__
+    return run
+
+
+@register_backend("gpusim")
+def _build_gpusim(func: Func, device=None, metrics=None, **_opts):
+    from .gpusim import GPUSimulator
+
+    sim = GPUSimulator(device=device, metrics=metrics)
+
+    def run(env):
+        sim.run(func, env)
+
+    return run
+
+
+class Executable:
+    """A compiled DSL function, callable on NumPy arrays."""
+
+    def __init__(self, func: Func, run_fn, backend: str):
+        self.func = func
+        self.backend = backend
+        self._run = run_fn
+        self._defs = defined_tensors(func.body)
+        # Parameters the caller must provide data for, in order.
+        self.data_params: List[str] = [
+            p for p in func.params
+            if self._defs[p].atype in (AccessType.INPUT, AccessType.INOUT)
+        ]
+        # Parameters the driver allocates (output) or hands back (inout).
+        self.out_params: List[str] = [
+            p for p in func.params
+            if self._defs[p].atype in (AccessType.OUTPUT, AccessType.INOUT)
+        ]
+        self.returns: List[str] = list(
+            dict.fromkeys(self.out_params + list(func.returns)))
+
+    # -- shape/scalars inference ------------------------------------------
+    def _bind(self, arrays, scalars) -> Dict[str, object]:
+        if len(arrays) != len(self.data_params):
+            raise InvalidProgram(
+                f"{self.func.name} expects {len(self.data_params)} arrays "
+                f"({', '.join(self.data_params)}), got {len(arrays)}")
+        env: Dict[str, object] = {}
+        sc: Dict[str, int] = {
+            k: int(v)
+            for k, v in scalars.items() if k in self.func.scalar_params
+        }
+        extra = set(scalars) - set(sc)
+        if extra:
+            raise InvalidProgram(f"unknown scalar parameters: {sorted(extra)}")
+        # Unify declared shapes against actual shapes.
+        for name, arr in zip(self.data_params, arrays):
+            arr = np.asarray(arr)
+            vd = self._defs[name]
+            if arr.ndim != vd.ndim:
+                raise InvalidProgram(
+                    f"parameter {name!r} expects {vd.ndim}-D data, got "
+                    f"{arr.ndim}-D")
+            for dim_expr, actual in zip(vd.shape, arr.shape):
+                self._unify(dim_expr, int(actual), sc, name)
+        # Verify every dim and scalar is now known.
+        for p in self.func.scalar_params:
+            if p not in sc:
+                raise InvalidProgram(
+                    f"scalar parameter {p!r} cannot be inferred from input "
+                    f"shapes; pass it as a keyword argument")
+        # Check dims and convert dtypes. (np.ascontiguousarray promotes
+        # 0-D arrays to 1-D, so contiguity is handled separately.)
+        for name, arr in zip(self.data_params, arrays):
+            vd = self._defs[name]
+            arr = np.asarray(arr, dtype=vd.dtype.to_numpy())
+            if arr.ndim and not arr.flags["C_CONTIGUOUS"]:
+                arr = np.ascontiguousarray(arr)
+            expect = tuple(self._eval_dim(d, sc) for d in vd.shape)
+            if tuple(arr.shape) != expect:
+                raise InvalidProgram(
+                    f"parameter {name!r}: shape {arr.shape} does not match "
+                    f"declared {expect}")
+            env[name] = arr
+        env.update(sc)
+        # Allocate outputs.
+        for name in self.returns:
+            if name in env:
+                continue
+            vd = self._defs[name]
+            shape = tuple(self._eval_dim(d, sc) for d in vd.shape)
+            env[name] = np.zeros(shape, dtype=vd.dtype.to_numpy())
+        return env
+
+    @staticmethod
+    def _unify(dim_expr: Expr, actual: int, sc: Dict[str, int], pname: str):
+        if isinstance(dim_expr, Var):
+            prev = sc.setdefault(dim_expr.name, actual)
+            if prev != actual:
+                raise InvalidProgram(
+                    f"conflicting sizes for {dim_expr.name!r}: {prev} vs "
+                    f"{actual} (from parameter {pname!r})")
+        elif isinstance(dim_expr, IntConst):
+            if dim_expr.val != actual:
+                raise InvalidProgram(
+                    f"parameter {pname!r}: dimension expects {dim_expr.val}, "
+                    f"got {actual}")
+        # Composite dimension expressions are checked after inference.
+
+    def _eval_dim(self, d: Expr, sc: Dict[str, int]) -> int:
+        from .interpreter import Interpreter
+
+        if isinstance(d, Const):
+            return int(d.val)
+        return int(Interpreter().eval_expr(d, dict(sc)))
+
+    # -- running ----------------------------------------------------------
+    def run_env(self, env: Dict[str, object]):
+        """Run on a pre-built environment (advanced use, e.g. metrics)."""
+        self._run(env)
+        return env
+
+    def __call__(self, *arrays, **scalars):
+        env = self._bind(arrays, scalars)
+        self._run(env)
+        outs = [env[n] for n in self.returns]
+        if not outs:
+            return None
+        if len(outs) == 1:
+            return outs[0]
+        return tuple(outs)
+
+    @property
+    def source(self) -> Optional[str]:
+        """Generated backend source, if the backend produces source code."""
+        return getattr(self._run, "__ft_source__", None)
+
+
+def _as_func(program_or_func) -> Func:
+    if isinstance(program_or_func, Program):
+        return program_or_func.func
+    if isinstance(program_or_func, Func):
+        return program_or_func
+    raise TypeError(
+        f"expected a Program or Func, got {type(program_or_func).__name__}")
+
+
+def build(program_or_func,
+          backend: str = "pycode",
+          optimize: bool = False,
+          target=None,
+          **opts) -> Executable:
+    """Compile a staged program (or a raw Func) into an Executable.
+
+    ``optimize=True`` runs the standard lowering pipeline and the rule-based
+    auto-schedule for ``target`` before code generation (see
+    ``repro.autosched``).
+    """
+    func = _as_func(program_or_func)
+    if optimize:
+        from ..autosched import auto_schedule
+
+        func = auto_schedule(func, target=target, backend=backend)
+    else:
+        from ..passes import lower
+
+        func = lower(func)
+    try:
+        builder = _BACKENDS[backend]
+    except KeyError:
+        raise BackendError(f"unknown backend {backend!r}; available: "
+                           f"{sorted(_BACKENDS)}") from None
+    run_fn = builder(func, target=target, **opts)
+    return Executable(func, run_fn, backend)

@@ -1,0 +1,6 @@
+"""Dependence-aware schedule transformations (paper Table 1)."""
+
+from .schedule import Schedule
+from .parallel_trans import PARALLEL_KINDS
+
+__all__ = ["Schedule", "PARALLEL_KINDS"]

@@ -1,0 +1,299 @@
+"""Memory transformations: cache, cache_reduction, set_mtype (hierarchy)
+and var_split / var_reorder / var_merge (layout) — paper Table 1, with the
+cache-region bound inference of section 4.2.3."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..analysis import BoundsCtx, tightest_bounds
+from ..analysis.access import collect_accesses
+from ..errors import InvalidSchedule
+from ..ir import (AccessType, DataType, Expr, For, Load, MemType, Mutator,
+                  ReduceTo, Store, VarDef, collect_stmts, defined_tensors,
+                  fresh_name, makeMax, makeMin, seq, used_names, wrap)
+from .common import find_stmt, loops_on_path, replace_stmt
+
+
+class _AccessRewriter(Mutator):
+    """Rewrites every access to ``name`` through an index transform."""
+
+    def __init__(self, name: str, new_name: str,
+                 transform: Callable[[tuple], list]):
+        self.name = name
+        self.new_name = new_name
+        self.transform = transform
+
+    def mutate_Load(self, e: Load):
+        idx = [self.mutate_expr(i) for i in e.indices]
+        if e.var != self.name:
+            return Load(e.var, idx, e.dtype)
+        return Load(self.new_name, self.transform(tuple(idx)), e.dtype)
+
+    def mutate_Store(self, s: Store):
+        idx = [self.mutate_expr(i) for i in s.indices]
+        expr = self.mutate_expr(s.expr)
+        if s.var != self.name:
+            out = Store(s.var, idx, expr)
+        else:
+            out = Store(self.new_name, self.transform(tuple(idx)), expr)
+        out.sid, out.label = s.sid, s.label
+        return out
+
+    def mutate_ReduceTo(self, s: ReduceTo):
+        idx = [self.mutate_expr(i) for i in s.indices]
+        expr = self.mutate_expr(s.expr)
+        if s.var != self.name:
+            out = ReduceTo(s.var, idx, s.op, expr, s.atomic)
+        else:
+            out = ReduceTo(self.new_name, self.transform(tuple(idx)), s.op,
+                           expr, s.atomic)
+        out.sid, out.label = s.sid, s.label
+        return out
+
+
+def _region_of(func, stmt, tensor: str):
+    """Per-dimension inclusive (lo, size) of elements of ``tensor``
+    accessed inside ``stmt``, expressed with outer-scope variables only."""
+    defs = defined_tensors(func.body)
+    if tensor not in defs:
+        raise InvalidSchedule(f"unknown tensor {tensor!r}")
+    vardef = defs[tensor]
+    accesses = [a for a in collect_accesses(stmt) if a.tensor == tensor]
+    if not accesses:
+        raise InvalidSchedule(
+            f"tensor {tensor!r} is not accessed inside {stmt.sid}")
+    if any(a.indices is None for a in accesses):
+        raise InvalidSchedule(
+            f"cannot infer cached region of {tensor!r}: opaque access")
+
+    outer = {l.iter_var for l in loops_on_path(func.body, stmt.sid)}
+    allowed = outer | set(func.scalar_params) | _shape_vars(func)
+
+    lows: List[Optional[Expr]] = [None] * vardef.ndim
+    ups: List[Optional[Expr]] = [None] * vardef.ndim
+    for a in accesses:
+        ctx = BoundsCtx()
+        for l in a.loops:
+            ctx = ctx.with_loop(l.iter_var, l.begin, l.end)
+        for d, idx in enumerate(a.indices):
+            lo, up = tightest_bounds(idx, ctx, allowed)
+            if lo is None or up is None:
+                raise InvalidSchedule(
+                    f"cannot bound dimension {d} of {tensor!r} accessed "
+                    f"at {a.stmt.sid} with outer-scope variables")
+            lows[d] = lo if lows[d] is None else makeMin(lows[d], lo)
+            ups[d] = up if ups[d] is None else makeMax(ups[d], up)
+    from ..passes.simplify_pass import simplify_expr
+
+    lows = [simplify_expr(lo) for lo in lows]
+    sizes = [simplify_expr(up - lo + 1) for lo, up in zip(lows, ups)]
+    return vardef, accesses, lows, sizes
+
+
+def _shape_vars(func) -> set:
+    """Variables used in parameter shapes (symbolic extents)."""
+    out = set()
+    from ..ir import all_vars
+
+    for d in defined_tensors(func.body).values():
+        for s in d.shape:
+            out.update(all_vars(s))
+    return out
+
+
+def _nested_copy(iters, sizes, make_leaf) -> object:
+    """Build ``for i0 in 0..s0: ... leaf(i0, i1, ...)`` nests."""
+    from ..ir import Var
+
+    ivs = [Var(i) for i in iters]
+    body = make_leaf(ivs)
+    for it, size in zip(reversed(iters), reversed(sizes)):
+        body = For(it, 0, size, body)
+    return body
+
+
+def cache(func, stmt_sel, tensor: str, mtype):
+    """Fetch the region of ``tensor`` used by ``stmt`` into a new tensor on
+    ``mtype`` before the statement, and write it back after (paper
+    Fig. 14). Returns ``(new_func, fill_sid, flush_sid, cache_name)``.
+    """
+    stmt = find_stmt(func.body, stmt_sel)
+    vardef, accesses, lows, sizes = _region_of(func, stmt, tensor)
+    mtype = MemType.parse(mtype)
+
+    cache_name = fresh_name(tensor + ".c", used_names(func))
+    taken = used_names(func) | {cache_name}
+    iters = []
+    for d in range(vardef.ndim):
+        it = fresh_name(f"i.c{d}", taken)
+        taken.add(it)
+        iters.append(it)
+
+    reads = any(not a.is_write for a in accesses)
+    writes = any(a.is_write for a in accesses)
+
+    def shift(idx: tuple) -> list:
+        return [i - lo for i, lo in zip(idx, lows)]
+
+    new_body = _AccessRewriter(tensor, cache_name, shift)(stmt)
+
+    fill = _nested_copy(
+        iters, sizes, lambda ivs: Store(
+            cache_name, ivs,
+            Load(tensor, [lo + iv for lo, iv in zip(lows, ivs)],
+                 vardef.dtype)))
+    flush = _nested_copy(
+        iters, sizes, lambda ivs: Store(
+            tensor, [lo + iv for lo, iv in zip(lows, ivs)],
+            Load(cache_name, ivs, vardef.dtype)))
+
+    parts = []
+    # Fill even when only writing if the written region may be partial;
+    # filling is always safe and keeps the flush whole-region.
+    if reads or writes:
+        parts.append(fill)
+    parts.append(new_body)
+    if writes:
+        parts.append(flush)
+    wrapped = VarDef(cache_name, sizes, vardef.dtype, "cache", mtype,
+                     seq(parts))
+    new_func = replace_stmt(func, stmt.sid, lambda _s: wrapped)
+    return new_func, fill.sid, (flush.sid if writes else None), cache_name
+
+
+def cache_reduction(func, stmt_sel, tensor: str, mtype):
+    """Accumulate reductions over ``tensor`` inside ``stmt`` into a local
+    tensor initialised to the reduction identity, then reduce it back once
+    (paper Table 1, ``cache_reduce``). Returns
+    ``(new_func, init_sid, flush_sid, cache_name)``."""
+    stmt = find_stmt(func.body, stmt_sel)
+    vardef, accesses, lows, sizes = _region_of(func, stmt, tensor)
+    mtype = MemType.parse(mtype)
+
+    ops = {a.reduce_op for a in accesses}
+    if len(ops) != 1 or None in ops:
+        raise InvalidSchedule(
+            f"cache_reduction requires every access to {tensor!r} inside "
+            f"{stmt_sel!r} to be the same reduction")
+    op = ops.pop()
+    identity = {
+        "+": 0.0 if vardef.dtype.is_float else 0,
+        "*": 1.0 if vardef.dtype.is_float else 1,
+        "min": float("inf"),
+        "max": float("-inf"),
+    }[op]
+
+    cache_name = fresh_name(tensor + ".r", used_names(func))
+    taken = used_names(func) | {cache_name}
+    iters = []
+    for d in range(vardef.ndim):
+        it = fresh_name(f"i.r{d}", taken)
+        taken.add(it)
+        iters.append(it)
+
+    def shift(idx: tuple) -> list:
+        return [i - lo for i, lo in zip(idx, lows)]
+
+    new_body = _AccessRewriter(tensor, cache_name, shift)(stmt)
+    init = _nested_copy(
+        iters, sizes,
+        lambda ivs: Store(cache_name, ivs, wrap(identity)))
+    flush = _nested_copy(
+        iters, sizes, lambda ivs: ReduceTo(
+            tensor, [lo + iv for lo, iv in zip(lows, ivs)], op,
+            Load(cache_name, ivs, vardef.dtype)))
+    wrapped = VarDef(cache_name, sizes, vardef.dtype, "cache", mtype,
+                     seq([init, new_body, flush]))
+    new_func = replace_stmt(func, stmt.sid, lambda _s: wrapped)
+    return new_func, init.sid, flush.sid, cache_name
+
+
+def set_mtype(func, tensor: str, mtype):
+    """Change where a tensor is stored."""
+    mtype = MemType.parse(mtype)
+    defs = defined_tensors(func.body)
+    if tensor not in defs:
+        raise InvalidSchedule(f"unknown tensor {tensor!r}")
+    vd = defs[tensor]
+
+    def on_def(d: VarDef):
+        out = VarDef(d.name, d.shape, d.dtype, d.atype, mtype, d.body,
+                     d.pinned)
+        out.sid, out.label, out.init_data = d.sid, d.label, d.init_data
+        return out
+
+    return replace_stmt(func, vd.sid, on_def)
+
+
+def _layout_target(func, tensor: str) -> VarDef:
+    defs = defined_tensors(func.body)
+    if tensor not in defs:
+        raise InvalidSchedule(f"unknown tensor {tensor!r}")
+    vd = defs[tensor]
+    if vd.atype is not AccessType.CACHE:
+        raise InvalidSchedule(
+            f"cannot change the layout of {tensor!r}: it is part of the "
+            f"function interface ({vd.atype})")
+    return vd
+
+
+def var_split(func, tensor: str, dim: int, factor: int):
+    """Split dimension ``dim`` of a tensor into (outer, factor)."""
+    vd = _layout_target(func, tensor)
+    if not (0 <= dim < vd.ndim):
+        raise InvalidSchedule(f"{tensor!r} has no dimension {dim}")
+    f = wrap(factor)
+    new_shape = list(vd.shape)
+    new_shape[dim:dim + 1] = [(vd.shape[dim] + f - 1) // f, f]
+
+    def transform(idx: tuple) -> list:
+        idx = list(idx)
+        e = idx[dim]
+        idx[dim:dim + 1] = [e // f, e % f]
+        return idx
+
+    return _relayout(func, vd, new_shape, transform)
+
+
+def var_reorder(func, tensor: str, order: List[int]):
+    """Permute the dimensions of a tensor."""
+    vd = _layout_target(func, tensor)
+    if sorted(order) != list(range(vd.ndim)):
+        raise InvalidSchedule(
+            f"order {order} is not a permutation of {vd.ndim} dims")
+    new_shape = [vd.shape[k] for k in order]
+
+    def transform(idx: tuple) -> list:
+        return [idx[k] for k in order]
+
+    return _relayout(func, vd, new_shape, transform)
+
+
+def var_merge(func, tensor: str, dim: int):
+    """Merge dimensions ``dim`` and ``dim+1`` of a tensor."""
+    vd = _layout_target(func, tensor)
+    if not (0 <= dim < vd.ndim - 1):
+        raise InvalidSchedule(
+            f"cannot merge dims {dim},{dim + 1} of {vd.ndim}-D {tensor!r}")
+    d1 = vd.shape[dim + 1]
+    new_shape = list(vd.shape)
+    new_shape[dim:dim + 2] = [vd.shape[dim] * d1]
+
+    def transform(idx: tuple) -> list:
+        idx = list(idx)
+        idx[dim:dim + 2] = [idx[dim] * d1 + idx[dim + 1]]
+        return idx
+
+    return _relayout(func, vd, new_shape, transform)
+
+
+def _relayout(func, vd: VarDef, new_shape, transform):
+    def on_def(d: VarDef):
+        body = _AccessRewriter(d.name, d.name, transform)(d.body)
+        out = VarDef(d.name, new_shape, d.dtype, d.atype, d.mtype, body,
+                     d.pinned)
+        out.sid, out.label, out.init_data = d.sid, d.label, d.init_data
+        return out
+
+    return replace_stmt(func, vd.sid, on_def)

@@ -1,0 +1,298 @@
+"""Other transformations: as_lib (fall back to a vendor library) and
+separate_tail (hoist boundary iterations) — paper Table 1."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import InvalidSchedule
+from ..ir import (Add, For, If, IntConst, LibCall, Load, Mul, ReduceTo,
+                  StmtSeq, Var, VarDef, collect_stmts, defined_tensors,
+                  makeMax, makeMin, same_expr, seq, substitute)
+from ..ir import expr as E
+from .common import find_loop, only_stmt_of, replace_stmt, fresh_iter
+
+
+def as_lib(func, loop_sel):
+    """Replace a recognised loop nest with a vendor-library call.
+
+    Currently recognises dense matrix multiplication
+    ``C[i, j] += A[i, k] * B[k, j]`` over a perfect (i, j, k) nest with
+    zero-based bounds (any loop order), and whole-tensor fills.
+    Returns ``(new_func, libcall_sid)``.
+    """
+    loop = find_loop(func.body, loop_sel)
+    call = _match_matmul(func, loop) or _match_fill(func, loop)
+    if call is None:
+        raise InvalidSchedule(
+            f"{loop_sel!r} does not match a known library pattern")
+    new_func = replace_stmt(func, loop.sid, call)
+    return new_func, call.sid
+
+
+def _nest_of(loop: For) -> List[For]:
+    nest = [loop]
+    while True:
+        inner = only_stmt_of(nest[-1])
+        if isinstance(inner, For):
+            nest.append(inner)
+        else:
+            return nest
+
+
+def _match_matmul(func, loop: For) -> Optional[LibCall]:
+    nest = _nest_of(loop)
+    accumulate = True
+    init_store = None
+    if len(nest) == 2:
+        # fused-init form: for i: for j: { c[i,j] = 0; for k: c += a*b }
+        from ..ir import Store, Const
+
+        inner = nest[-1].body
+        kids = inner.stmts if isinstance(inner, StmtSeq) else [inner]
+        if len(kids) == 2 and isinstance(kids[0], Store) \
+                and isinstance(kids[0].expr, Const) \
+                and kids[0].expr.val == 0 and isinstance(kids[1], For):
+            init_store = kids[0]
+            nest = nest + [kids[1]]
+            accumulate = False
+        else:
+            return None
+    if len(nest) != 3:
+        return None
+    body = only_stmt_of(nest[-1])
+    if not isinstance(body, ReduceTo) or body.op != "+":
+        return None
+    if init_store is not None:
+        from ..ir import same_expr
+
+        if not (init_store.var == body.var
+                and len(init_store.indices) == len(body.indices)
+                and all(same_expr(p, q) for p, q in
+                        zip(init_store.indices, body.indices))):
+            return None
+    if not all(isinstance(l.begin, IntConst) and l.begin.val == 0
+               for l in nest):
+        return None
+    if not isinstance(body.expr, Mul):
+        return None
+    lhs, rhs = body.expr.lhs, body.expr.rhs
+    if not (isinstance(lhs, Load) and isinstance(rhs, Load)):
+        return None
+    if len(body.indices) != 2 or len(lhs.indices) != 2 \
+            or len(rhs.indices) != 2:
+        return None
+
+    def iname(e) -> Optional[str]:
+        return e.name if isinstance(e, Var) else None
+
+    c_idx = [iname(i) for i in body.indices]
+    l_idx = [iname(i) for i in lhs.indices]
+    r_idx = [iname(i) for i in rhs.indices]
+    if None in c_idx or None in l_idx or None in r_idx:
+        return None
+    iters = {l.iter_var for l in nest}
+    if set(c_idx) | set(l_idx) | set(r_idx) != iters:
+        return None
+    i, j = c_idx
+    k = (iters - {i, j}).pop()
+    # accept A[i,k]*B[k,j] on either side of the multiplication
+    for a, b in ((lhs, rhs), (rhs, lhs)):
+        a_idx = [iname(x) for x in a.indices]
+        b_idx = [iname(x) for x in b.indices]
+        if a_idx == [i, k] and b_idx == [k, j]:
+            # loop extents must match operand shapes
+            defs = defined_tensors(func.body)
+            ext = {l.iter_var: l.end for l in nest}
+            shapes_ok = (
+                _shape_is(defs.get(body.var), [ext[i], ext[j]])
+                and _shape_is(defs.get(a.var), [ext[i], ext[k]])
+                and _shape_is(defs.get(b.var), [ext[k], ext[j]]))
+            if not shapes_ok:
+                return None
+            return LibCall("matmul", [body.var], [a.var, b.var],
+                           {"accumulate": accumulate})
+    return None
+
+
+def _shape_is(vardef, extents) -> bool:
+    if vardef is None or vardef.ndim != len(extents):
+        return False
+    return all(same_expr(s, e) for s, e in zip(vardef.shape, extents))
+
+
+def _match_fill(func, loop: For) -> Optional[LibCall]:
+    nest = _nest_of(loop)
+    body = only_stmt_of(nest[-1])
+    from ..ir import Store, Const
+
+    if not isinstance(body, Store) or not isinstance(body.expr, Const):
+        return None
+    if not all(isinstance(l.begin, IntConst) and l.begin.val == 0
+               for l in nest):
+        return None
+    idx_names = [i.name if isinstance(i, Var) else None for i in body.indices]
+    if None in idx_names or idx_names != [l.iter_var for l in nest]:
+        return None
+    defs = defined_tensors(func.body)
+    if not _shape_is(defs.get(body.var), [l.end for l in nest]):
+        return None
+    return LibCall("fill", [body.var], [], {"value": body.expr.val})
+
+
+def separate_tail(func, loop_sel):
+    """Split a loop at the boundary implied by its internal conditionals so
+    the main body runs branch-free (paper Table 1).
+
+    Returns ``(new_func, sids)`` where ``sids`` are the resulting loops.
+    """
+    loop = find_loop(func.body, loop_sel)
+    points = _split_points(loop)
+    if not points:
+        raise InvalidSchedule(
+            f"no splittable conditions found in {loop_sel!r}")
+
+    # Clamp each split point into [begin, end] and build consecutive loops.
+    cuts = []
+    for p in points:
+        cuts.append(makeMax(loop.begin, makeMin(p, loop.end)))
+    bounds = [loop.begin] + cuts + [loop.end]
+
+    from ..ir import fresh_copy
+
+    new_loops = []
+    for k in range(len(bounds) - 1):
+        it = fresh_iter(func, loop.iter_var + ".t") if k else loop.iter_var
+        body = fresh_copy(loop.body) if k else loop.body
+        if k:
+            body = substitute(body, {loop.iter_var: Var(it)})
+        nl = For(it, bounds[k], bounds[k + 1], body, loop.property.clone())
+        if k == 0:
+            nl.label = loop.label
+        new_loops.append(nl)
+    new_func = replace_stmt(func, loop.sid, seq(new_loops))
+
+    from ..passes.prune import prune_branches
+
+    new_func = prune_branches(new_func)
+    from ..passes import simplify
+
+    new_func = simplify(new_func)
+    return new_func, [l.sid for l in new_loops]
+
+
+def _split_points(loop: For) -> List:
+    """Iterator thresholds implied by conditions inside the loop.
+
+    A condition ``c*it + rest CMP other`` (with ``rest`` bounded over the
+    inner loops) yields the first iteration where the guard may change
+    truth value — e.g. the guard of an uneven ``split`` yields the first
+    partial tile.
+    """
+    points = []
+    seen = set()
+
+    def walk(s, inner_loops):
+        if isinstance(s, If):
+            for cond in _conjuncts(s.cond):
+                p = _threshold(cond, loop.iter_var, inner_loops)
+                if p is not None and p.key() not in seen:
+                    seen.add(p.key())
+                    points.append(p)
+        for c in s.children_stmts():
+            walk(c, inner_loops + [s] if isinstance(s, For) else inner_loops)
+
+    walk(loop.body, [])
+    return points
+
+
+def _conjuncts(cond):
+    if isinstance(cond, E.LAnd):
+        yield from _conjuncts(cond.lhs)
+        yield from _conjuncts(cond.rhs)
+    else:
+        yield cond
+
+
+def _decompose(e, iter_var: str):
+    """Write an integer expression as ``c*iter_var + rest`` with the
+    iterator absent from ``rest``; None if not linear in the iterator."""
+    from ..ir import all_vars
+
+    if isinstance(e, Var) and e.name == iter_var:
+        return 1, IntConst(0)
+    if isinstance(e, E.Add):
+        l = _decompose(e.lhs, iter_var)
+        r = _decompose(e.rhs, iter_var)
+        if l is None or r is None:
+            return None
+        return l[0] + r[0], l[1] + r[1]
+    if isinstance(e, E.Sub):
+        l = _decompose(e.lhs, iter_var)
+        r = _decompose(e.rhs, iter_var)
+        if l is None or r is None:
+            return None
+        return l[0] - r[0], l[1] - r[1]
+    if isinstance(e, Mul):
+        for k, other in ((e.lhs, e.rhs), (e.rhs, e.lhs)):
+            if isinstance(k, IntConst):
+                inner = _decompose(other, iter_var)
+                if inner is None:
+                    return None
+                return inner[0] * k.val, inner[1] * k.val
+        return None
+    if iter_var in set(all_vars(e)):
+        return None
+    return 0, e
+
+
+def _threshold(cond, iter_var: str, inner_loops):
+    """The first iteration where ``cond`` may flip, derived from the sign
+    of the iterator coefficient and bounds of the residual term."""
+    if not isinstance(cond, E.CmpOp):
+        return None
+    # Normalise every comparison to  E < 0  over integers.
+    cls = type(cond)
+    diff = cond.lhs - cond.rhs
+    if cls is E.LT:
+        expr = diff
+    elif cls is E.LE:
+        expr = diff - 1
+    elif cls is E.GT:
+        expr = cond.rhs - cond.lhs
+    elif cls is E.GE:
+        expr = cond.rhs - cond.lhs - 1
+    else:
+        return None  # ==/!= would need two cuts
+    dec = _decompose(expr, iter_var)
+    if dec is None:
+        return None
+    c, rest = dec
+    if c == 0:
+        return None
+
+    from ..analysis import BoundsCtx, tightest_bounds
+    from ..ir import all_vars
+    from ..passes.simplify_pass import simplify_expr
+
+    ctx = BoundsCtx()
+    for l in inner_loops:
+        ctx = ctx.with_loop(l.iter_var, l.begin, l.end)
+    inner_names = {l.iter_var for l in inner_loops}
+    outer_ok = lambda e_: not (set(all_vars(e_)) & (inner_names
+                                                    | {iter_var}))
+    # allowed vars: anything except inner iterators and the loop iterator
+    all_names = set()
+    for l in inner_loops:
+        all_names |= set(all_vars(l.begin)) | set(all_vars(l.end))
+    allowed = (all_names | set(all_vars(rest))) - inner_names - {iter_var}
+    _lo, up = tightest_bounds(rest, ctx, allowed)
+    if up is None or not outer_ok(up):
+        return None
+    if c > 0:
+        # guard true while c*it + UB < 0; first unsafe it = ceil(-UB/c)
+        point = (0 - up + c - 1) // c
+    else:
+        # guard false while (-c)*it < ... ; first always-true iteration
+        point = up // (-c) + 1
+    return simplify_expr(point)

@@ -1,0 +1,15 @@
+"""The paper's four evaluation workloads (section 6.1), each implemented
+in the FreeTensor DSL and in the operator-based baseline framework, with
+NumPy references for verification."""
+
+from . import data, gat, longformer, softras, subdivnet
+
+#: registry used by the benchmark harness
+ALL = {
+    "subdivnet": subdivnet,
+    "longformer": longformer,
+    "softras": softras,
+    "gat": gat,
+}
+
+__all__ = ["ALL", "data", "gat", "longformer", "softras", "subdivnet"]

@@ -1,0 +1,111 @@
+"""Synthetic input generators for the evaluation workloads.
+
+The paper evaluates on real model inputs (3-D meshes, documents, graphs);
+this reproduction generates synthetic data with the same structural
+properties — triangle-mesh face adjacency, token sequences, random sparse
+graphs in CSR form, and projected triangle soups — sized by a scale
+parameter so benchmarks can sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def mesh_faces(n_faces: int, in_feats: int, seed: int = 0
+               ) -> Dict[str, np.ndarray]:
+    """A synthetic closed-mesh structure: per-face features and the
+    3-neighbour adjacency array of SubdivNet (paper Fig. 2).
+
+    Adjacency is built from a random 3-regular pairing so every face has
+    exactly three distinct neighbours and no self-loops, like a manifold
+    triangle mesh's face-adjacency graph.
+    """
+    rng = np.random.default_rng(seed)
+    adj = np.empty((n_faces, 3), np.int32)
+    for j in range(3):
+        perm = rng.permutation(n_faces)
+        # a fixed-point-free shift of a permutation: neighbour != self
+        adj[:, j] = np.roll(perm, j + 1)[np.argsort(perm)]
+    # ensure the three neighbours of each face are distinct
+    for i in range(n_faces):
+        while len(set(adj[i])) < 3 or i in adj[i]:
+            adj[i] = rng.choice(
+                np.setdiff1d(np.arange(n_faces), [i]), 3, replace=False)
+    e = rng.standard_normal((n_faces, in_feats)).astype(np.float32)
+    return {"adj": adj, "e": e}
+
+
+def mesh_conv_weights(in_feats: int, out_feats: int, seed: int = 0
+                      ) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed + 1)
+    w = (rng.standard_normal((4 * in_feats, out_feats)) /
+         np.sqrt(4 * in_feats)).astype(np.float32)
+    return {"w": w}
+
+
+def token_sequence(seq_len: int, feat_len: int, seed: int = 0
+                   ) -> Dict[str, np.ndarray]:
+    """Q/K/V projections of a token sequence (Longformer, paper Fig. 1)."""
+    rng = np.random.default_rng(seed)
+    mk = lambda: rng.standard_normal((seq_len, feat_len)) \
+        .astype(np.float32)
+    return {"q": mk(), "k": mk(), "v": mk()}
+
+
+def random_graph_csr(n_nodes: int, avg_degree: int, seed: int = 0
+                     ) -> Dict[str, np.ndarray]:
+    """A random directed graph in CSR form (GAT input).
+
+    Uses networkx when available (an Erdos-Renyi graph), falling back to
+    direct sampling; every node receives at least one in-edge (a
+    self-loop), as GAT implementations conventionally add.
+    """
+    rng = np.random.default_rng(seed)
+    try:
+        import networkx as nx
+
+        p = min(1.0, avg_degree / max(1, n_nodes - 1))
+        g = nx.gnp_random_graph(n_nodes, p, seed=seed, directed=True)
+        edges = np.array(list(g.edges()), dtype=np.int64).reshape(-1, 2)
+    except ImportError:  # pragma: no cover - networkx is available here
+        m = n_nodes * avg_degree
+        edges = rng.integers(0, n_nodes, (m, 2)).astype(np.int64)
+    loops = np.stack([np.arange(n_nodes)] * 2, axis=1).astype(np.int64)
+    edges = np.concatenate([edges, loops], axis=0)
+    # CSR grouped by destination node
+    order = np.argsort(edges[:, 1], kind="stable")
+    edges = edges[order]
+    indices = edges[:, 0].astype(np.int32)
+    indptr = np.zeros(n_nodes + 1, np.int32)
+    np.add.at(indptr, edges[:, 1] + 1, 1)
+    indptr = np.cumsum(indptr).astype(np.int32)
+    return {
+        "indptr": indptr,
+        "indices": indices,
+        "src": edges[:, 0].astype(np.int32),
+        "dst": edges[:, 1].astype(np.int32),
+    }
+
+
+def projected_triangles(n_faces: int, image_size: int, seed: int = 0
+                        ) -> Dict[str, np.ndarray]:
+    """Screen-space triangles for the soft rasterizer (SoftRas).
+
+    Vertices live in [0, 1]^2; triangles are small so each covers a few
+    pixels, like a projected mesh.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.1, 0.9, (n_faces, 1, 2))
+    offsets = rng.uniform(-0.15, 0.15, (n_faces, 3, 2))
+    verts = (centers + offsets).astype(np.float32)
+    return {"verts": verts, "image_size": image_size}
+
+
+def pixel_grid(image_size: int) -> np.ndarray:
+    """Pixel-centre coordinates in [0, 1]^2, shape (H, W, 2)."""
+    xs = (np.arange(image_size) + 0.5) / image_size
+    px = np.stack(np.meshgrid(xs, xs, indexing="ij"), axis=-1)
+    return px.astype(np.float32)

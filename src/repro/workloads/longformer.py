@@ -1,0 +1,195 @@
+"""Longformer sliding-window attention (paper section 1, Figures 1 and 5).
+
+Each token attends to tokens within a window of radius ``w``:
+``y_i = sum_j softmax_j(q_i . k_{i+j} / sqrt(d)) * v_{i+j}`` over
+``j in [-w, w]`` clipped to the sequence.
+
+- :func:`make_program` — FreeTensor: direct indexing ``k[i+j]`` (paper
+  Fig. 5), out-of-window entries masked inline; memory cost O(n*d).
+- :func:`run_baseline` — operator-based (paper Fig. 1(c)): pad + a
+  materialised sliding-window copy of K and V (O(n*w*d) extra memory!),
+  batched matmuls, masked softmax.
+- :func:`reference` — NumPy ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+import repro as ft
+from .data import token_sequence
+
+
+def make_data(seq_len: int = 128, feat_len: int = 16, w: int = 8,
+              seed: int = 0) -> Dict[str, np.ndarray]:
+    data = token_sequence(seq_len, feat_len, seed)
+    data["w"] = w
+    return data
+
+
+def make_program() -> ft.Program:
+    """FreeTensor implementation (paper Fig. 5 plus softmax and V)."""
+
+    @ft.transform
+    def longformer(q: ft.Tensor[("n", "d"), "f32", "input"],
+                   k: ft.Tensor[("n", "d"), "f32", "input"],
+                   v: ft.Tensor[("n", "d"), "f32", "input"],
+                   w: ft.Size):
+        y = ft.zeros((q.shape(0), q.shape(1)), "f32")
+        for i in range(q.shape(0)):
+            dot = ft.empty((2 * w + 1,), "f32")
+            for j in range(-w, w + 1):
+                if i + j >= 0 and i + j < q.shape(0):
+                    dot[j + w] = 0.0
+                    for p in range(q.shape(1)):
+                        dot[j + w] += q[i, p] * k[i + j, p]
+                else:
+                    dot[j + w] = -float("inf")
+            scale = ft.sqrt(1.0 * q.shape(1))
+            mx = -float("inf")
+            for j in range(2 * w + 1):
+                mx = ft.max(mx, dot[j] / scale)
+            attn = ft.empty((2 * w + 1,), "f32")
+            s = 0.0
+            for j in range(2 * w + 1):
+                attn[j] = ft.exp(dot[j] / scale - mx)
+                s += attn[j]
+            for j in range(-w, w + 1):
+                if i + j >= 0 and i + j < q.shape(0):
+                    for p in range(q.shape(1)):
+                        y[i, p] += attn[j + w] / s * v[i + j, p]
+        return y
+
+    return longformer
+
+
+def make_dilated_program() -> ft.Program:
+    """Dilated sliding-window attention (the Longformer paper's second
+    pattern: the window samples every ``dil``-th token, widening the
+    receptive field at the same cost). Expressed in the DSL it is one
+    index change — ``k[i + j * dil]`` — whereas the operator-based
+    formulation needs a whole new strided gather."""
+
+    @ft.transform
+    def longformer_dilated(q: ft.Tensor[("n", "d"), "f32", "input"],
+                           k: ft.Tensor[("n", "d"), "f32", "input"],
+                           v: ft.Tensor[("n", "d"), "f32", "input"],
+                           w: ft.Size, dil: ft.Size):
+        y = ft.zeros((q.shape(0), q.shape(1)), "f32")
+        for i in range(q.shape(0)):
+            dot = ft.empty((2 * w + 1,), "f32")
+            for j in range(-w, w + 1):
+                if i + j * dil >= 0 and i + j * dil < q.shape(0):
+                    dot[j + w] = 0.0
+                    for p in range(q.shape(1)):
+                        dot[j + w] += q[i, p] * k[i + j * dil, p]
+                else:
+                    dot[j + w] = -float("inf")
+            scale = ft.sqrt(1.0 * q.shape(1))
+            mx = -float("inf")
+            for j in range(2 * w + 1):
+                mx = ft.max(mx, dot[j] / scale)
+            attn = ft.empty((2 * w + 1,), "f32")
+            s = 0.0
+            for j in range(2 * w + 1):
+                attn[j] = ft.exp(dot[j] / scale - mx)
+                s += attn[j]
+            for j in range(-w, w + 1):
+                if i + j * dil >= 0 and i + j * dil < q.shape(0):
+                    for p in range(q.shape(1)):
+                        y[i, p] += attn[j + w] / s * v[i + j * dil, p]
+        return y
+
+    return longformer_dilated
+
+
+def reference_dilated(data: Dict[str, np.ndarray],
+                      dilation: int) -> np.ndarray:
+    q, k, v, w = data["q"], data["k"], data["v"], data["w"]
+    n, d = q.shape
+    out = np.zeros_like(q)
+    for i in range(n):
+        js = np.arange(-w, w + 1) * dilation + i
+        js = js[(js >= 0) & (js < n)]
+        dots = (q[i] @ k[js].T) / np.sqrt(d)
+        a = np.exp(dots - dots.max())
+        a /= a.sum()
+        out[i] = a @ v[js]
+    return out.astype(np.float32)
+
+
+def reference(data: Dict[str, np.ndarray]) -> np.ndarray:
+    q, k, v, w = data["q"], data["k"], data["v"], data["w"]
+    n, d = q.shape
+    out = np.zeros_like(q)
+    for i in range(n):
+        lo, hi = max(0, i - w), min(n, i + w + 1)
+        dots = (q[i] @ k[lo:hi].T) / np.sqrt(d)
+        a = np.exp(dots - dots.max())
+        a /= a.sum()
+        out[i] = a @ v[lo:hi]
+    return out.astype(np.float32)
+
+
+def run_baseline(data: Dict[str, np.ndarray], device=None,
+                 requires_grad: bool = False):
+    """Operator-based implementation (paper Fig. 1(b)/(c)).
+
+    K and V are padded and copied ``(2w+1)``-fold via the materialised
+    sliding-window operator — the paper's memory redundancy — then the
+    whole attention is batched matmuls and one softmax kernel.
+    """
+    from ..baselines import (add, bmm, pad, reshape, sliding_window,
+                             softmax, tensor, transpose)
+
+    q0, k0, v0, w = data["q"], data["k"], data["v"], data["w"]
+    n, d = q0.shape
+    q = tensor(q0, device, requires_grad=requires_grad)
+    k = tensor(k0, device, requires_grad=requires_grad)
+    v = tensor(v0, device, requires_grad=requires_grad)
+
+    k_pad = pad(k, ((w, w), (0, 0)))
+    v_pad = pad(v, ((w, w), (0, 0)))
+    k_win = sliding_window(k_pad, 2 * w + 1)   # (n, 2w+1, d) materialised
+    v_win = sliding_window(v_pad, 2 * w + 1)   # (n, 2w+1, d) materialised
+
+    # dot[i, j] = q[i] . k_win[i, j] / sqrt(d)
+    q3 = reshape(q, (n, d, 1))
+    dots = reshape(bmm(k_win, q3), (n, 2 * w + 1)) * (1.0 / np.sqrt(d))
+
+    # mask out-of-sequence positions (a constant tensor, as in PyTorch)
+    jj = np.arange(-w, w + 1)[None, :]
+    ii = np.arange(n)[:, None]
+    mask = np.where((ii + jj >= 0) & (ii + jj < n), 0.0,
+                    -np.inf).astype(np.float32)
+    dots = add(dots, tensor(mask, device))
+    attn = softmax(dots, axis=1)               # (n, 2w+1)
+
+    a3 = reshape(attn, (n, 1, 2 * w + 1))
+    y = reshape(bmm(a3, v_win), (n, d))
+    return y, {"q": q, "k": k, "v": v}
+
+
+def grad_reference(data: Dict[str, np.ndarray], out_grad: np.ndarray
+                   ) -> Dict[str, np.ndarray]:
+    """NumPy gradients of (y * out_grad).sum() w.r.t. q, k, v."""
+    q, k, v, w = data["q"], data["k"], data["v"], data["w"]
+    n, d = q.shape
+    gq = np.zeros_like(q)
+    gk = np.zeros_like(k)
+    gv = np.zeros_like(v)
+    for i in range(n):
+        lo, hi = max(0, i - w), min(n, i + w + 1)
+        dots = (q[i] @ k[lo:hi].T) / np.sqrt(d)
+        a = np.exp(dots - dots.max())
+        a /= a.sum()
+        g = out_grad[i]
+        ga = v[lo:hi] @ g
+        gd = a * (ga - (a * ga).sum())
+        gq[i] += gd @ k[lo:hi] / np.sqrt(d)
+        gk[lo:hi] += np.outer(gd, q[i]) / np.sqrt(d)
+        gv[lo:hi] += np.outer(a, g)
+    return {"q": gq.astype(np.float32), "k": gk.astype(np.float32),
+            "v": gv.astype(np.float32)}

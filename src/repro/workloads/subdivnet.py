@@ -1,0 +1,128 @@
+"""SubdivNet mesh convolution (paper section 2.2, Figures 2-3).
+
+One mesh-convolution layer: for every face, combine its feature with three
+aggregates over its adjacent faces — their sum, the circular difference
+``sum_j |e_{j+1} - e_j|`` (the red box of Fig. 2a), and ``sum_j |e_i -
+e_j|`` — then apply a dense weight.
+
+Three implementations share one semantics:
+
+- :func:`make_program` — the FreeTensor free-form version (fine-grained
+  loops, direct indexing through ``adj``, no gather/concat intermediates);
+- :func:`run_baseline` — the operator-based version of paper Fig. 2(c):
+  ``index_select -> reshape -> cat -> sub/abs/sum -> matmul``, every step
+  a whole-tensor kernel with a materialised result;
+- :func:`reference` — plain NumPy, used as ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+import repro as ft
+from .data import mesh_conv_weights, mesh_faces
+
+
+def make_data(n_faces: int = 64, in_feats: int = 8, out_feats: int = 8,
+              seed: int = 0) -> Dict[str, np.ndarray]:
+    data = mesh_faces(n_faces, in_feats, seed)
+    data.update(mesh_conv_weights(in_feats, out_feats, seed))
+    return data
+
+
+def make_program() -> ft.Program:
+    """The FreeTensor implementation (fine-grained, redundancy-free)."""
+
+    @ft.transform
+    def subdivnet(adj: ft.Tensor[("n", 3), "i32", "input"],
+                  e: ft.Tensor[("n", "f"), "f32", "input"],
+                  w: ft.Tensor[("g", "o"), "f32", "input"]):
+        assert w.shape(0) == 4 * e.shape(1)
+        y = ft.zeros((adj.shape(0), w.shape(1)), "f32")
+        for i in range(adj.shape(0)):
+            # the four aggregate feature blocks, built in place
+            feat = ft.zeros((4 * e.shape(1),), "f32")
+            for k in range(e.shape(1)):
+                feat[k] = e[i, k]
+            for j in range(3):
+                for k in range(e.shape(1)):
+                    feat[e.shape(1) + k] += e[adj[i, j], k]
+                    feat[2 * e.shape(1) + k] += ft.abs(
+                        e[adj[i, (j + 1) % 3], k] - e[adj[i, j], k])
+                    feat[3 * e.shape(1) + k] += ft.abs(
+                        e[i, k] - e[adj[i, j], k])
+            for oo in range(w.shape(1)):
+                for g in range(w.shape(0)):
+                    y[i, oo] += feat[g] * w[g, oo]
+        return y
+
+    return subdivnet
+
+
+def reference(data: Dict[str, np.ndarray]) -> np.ndarray:
+    adj, e, w = data["adj"], data["e"], data["w"]
+    nb = e[adj]  # (n, 3, f)
+    f1 = nb.sum(axis=1)
+    f2 = np.abs(e[adj[:, [1, 2, 0]]] - nb).sum(axis=1)
+    f3 = np.abs(e[:, None, :] - nb).sum(axis=1)
+    feat = np.concatenate([e, f1, f2, f3], axis=1)
+    return (feat @ w).astype(np.float32)
+
+
+def run_baseline(data: Dict[str, np.ndarray], device=None,
+                 requires_grad: bool = False):
+    """Operator-based implementation (paper Fig. 2(b)/(c)).
+
+    Returns ``(output OpTensor, leaf dict)``; with ``requires_grad`` the
+    leaves record gradients after ``out.backward()``.
+    """
+    from ..baselines import (abs_, cat, index_select, matmul, narrow,
+                             reshape, sub, sum_, tensor)
+
+    adj = data["adj"]
+    n, three = adj.shape
+    e = tensor(data["e"], device, requires_grad=requires_grad)
+    w = tensor(data["w"], device, requires_grad=requires_grad)
+    idx = tensor(adj.reshape(-1), device, dtype=np.int64)
+
+    # Step 1 (Fig. 2c): gather neighbour features into a full 3-D tensor
+    adj_feat = reshape(index_select(e, 0, idx),
+                       (n, three, data["e"].shape[1]))
+    # Step 2: slice / reorder / concatenate to align e_{j+1} with e_j
+    reordered = cat([narrow(adj_feat, 1, 1, 2),
+                     narrow(adj_feat, 1, 0, 1)], axis=1)
+    # Step 3: arithmetic on the materialised tensors
+    f1 = sum_(adj_feat, axis=1)
+    f2 = sum_(abs_(sub(reordered, adj_feat)), axis=1)
+    e3 = reshape(e, (n, 1, data["e"].shape[1]))
+    f3 = sum_(abs_(sub(e3, adj_feat)), axis=1)
+    feat = cat([e, f1, f2, f3], axis=1)
+    out = matmul(feat, w)
+    return out, {"e": e, "w": w}
+
+
+def grad_reference(data: Dict[str, np.ndarray], out_grad: np.ndarray
+                   ) -> Dict[str, np.ndarray]:
+    """NumPy gradient of (out * out_grad).sum() w.r.t. e and w."""
+    adj, e, w = data["adj"], data["e"], data["w"]
+    n, f = e.shape
+    nb = e[adj]
+    f1 = nb.sum(axis=1)
+    f2 = np.abs(e[adj[:, [1, 2, 0]]] - nb).sum(axis=1)
+    f3 = np.abs(e[:, None, :] - nb).sum(axis=1)
+    feat = np.concatenate([e, f1, f2, f3], axis=1)
+    gw = feat.T @ out_grad
+    gfeat = out_grad @ w.T
+    g0, g1, g2, g3 = np.split(gfeat, 4, axis=1)
+    ge = g0.copy()
+    np.add.at(ge, adj.reshape(-1), np.repeat(g1, 3, axis=0))
+    d2 = np.sign(e[adj[:, [1, 2, 0]]] - nb)
+    np.add.at(ge, adj[:, [1, 2, 0]].reshape(-1),
+              (d2 * g2[:, None, :]).reshape(-1, f))
+    np.add.at(ge, adj.reshape(-1), (-d2 * g2[:, None, :]).reshape(-1, f))
+    d3 = np.sign(e[:, None, :] - nb)
+    ge += (d3 * g3[:, None, :]).sum(axis=1)
+    np.add.at(ge, adj.reshape(-1), (-d3 * g3[:, None, :]).reshape(-1, f))
+    return {"e": ge.astype(np.float32), "w": gw.astype(np.float32)}

@@ -1,0 +1,13 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def assert_allclose(a, b, rtol=1e-4, atol=1e-5):
+    np.testing.assert_allclose(a, b, rtol=rtol, atol=atol)

@@ -1,0 +1,369 @@
+"""Automatic differentiation tests (paper section 5): correctness against
+finite differences, selective materialization decisions, tape shapes, and
+error reporting."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.ad import GradExecutable, grad
+from repro.errors import ADError
+
+
+def fd_grad(exe, inputs, scalars, gi, eps=1e-3):
+    """Central finite differences of sum(outputs) w.r.t. inputs[gi]."""
+    def total(o):
+        if isinstance(o, tuple):
+            return sum(float(np.sum(v)) for v in o)
+        return float(np.sum(o))
+
+    x = inputs[gi]
+    num = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        xp = [a.copy() for a in inputs]
+        xp[gi][idx] += eps
+        xm = [a.copy() for a in inputs]
+        xm[gi][idx] -= eps
+        num[idx] = (total(exe(*xp, **scalars)) -
+                    total(exe(*xm, **scalars))) / (2 * eps)
+    return num
+
+
+def check_all_grads(program, inputs, scalars=None, tapes="selective",
+                    rtol=3e-2, atol=2e-3):
+    scalars = scalars or {}
+    gp = grad(program, tapes=tapes)
+    exe = GradExecutable(gp)
+    exe(*inputs, **scalars)
+    grads = exe.backward()
+    if not isinstance(grads, tuple):
+        grads = (grads,)
+    for gi, g in enumerate(grads):
+        num = fd_grad(exe, [a.copy() for a in inputs], scalars, gi)
+        np.testing.assert_allclose(g, num, rtol=rtol, atol=atol,
+                                   err_msg=f"grad of input {gi}")
+    return gp
+
+
+class TestBasicGradients:
+
+    def test_elementwise_chain(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                y[i] = a[i] * b[i] + a[i] * a[i]
+            return y
+
+        check_all_grads(f, [rng.standard_normal(5).astype(np.float32),
+                            rng.standard_normal(5).astype(np.float32)])
+
+    def test_fig15_recompute(self, rng):
+        """Paper Fig. 15: the cheap scalar t is recomputed, not taped."""
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"],
+              c: ft.Tensor[("n",), "f32", "input"],
+              d: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            z = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                t = a[i] * b[i]
+                y[i] = t * c[i]
+                z[i] = t * d[i]
+            return y, z
+
+        xs = [rng.standard_normal(4).astype(np.float32) for _ in range(4)]
+        gp = check_all_grads(f, xs)
+        assert "t" in gp.materialization.recompute
+        assert not gp.tape_names  # nothing materialised
+
+    def test_fig15_forced_tape(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                t = a[i] * b[i]
+                y[i] = t * t
+            return y
+
+        xs = [rng.standard_normal(4).astype(np.float32) for _ in range(2)]
+        gp = check_all_grads(f, xs, tapes="all")
+        assert any(t.endswith(".tape") for t in gp.tape_names)
+        # one version per loop iteration: tape is n-sized (paper 5.1/5.2)
+        from repro.ir import defined_tensors, dump
+
+        tape_def = defined_tensors(gp.fwd.body)[gp.tape_names[0]]
+        assert dump(tape_def.shape[0]) == "n"
+
+    def test_reduction_grad(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n", "m"), "f32", "input"]):
+            y = ft.zeros(("n",), "f32")
+            for i in range(a.shape(0)):
+                for j in range(a.shape(1)):
+                    y[i] += a[i, j] * a[i, j]
+            return y
+
+        check_all_grads(f, [rng.standard_normal((3, 4))
+                            .astype(np.float32)])
+
+    def test_intrinsics(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                y[i] = ft.exp(a[i]) + ft.tanh(a[i]) * ft.sigmoid(a[i]) \
+                    + ft.sqrt(a[i] * a[i] + 1.0)
+            return y
+
+        check_all_grads(f, [rng.standard_normal(5).astype(np.float32)])
+
+    def test_abs_and_select(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                if a[i] > 0.0:
+                    y[i] = a[i] * 2.0
+                else:
+                    y[i] = ft.abs(a[i]) * 3.0
+            return y
+
+        x = rng.standard_normal(6).astype(np.float32)
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_all_grads(f, [x])
+
+    def test_division(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                y[i] = a[i] / (b[i] * b[i] + 1.0)
+            return y
+
+        check_all_grads(f, [rng.standard_normal(4).astype(np.float32),
+                            rng.standard_normal(4).astype(np.float32)])
+
+    def test_indirect_gather_scatter(self, rng):
+        """Gradients flow through data-dependent indexing (GAT-style)."""
+        @ft.transform
+        def f(idx: ft.Tensor[(6,), "i32", "input"],
+              e: ft.Tensor[(4, 3), "f32", "input"]):
+            y = ft.zeros((6, 3), "f32")
+            for i in range(6):
+                for k in range(3):
+                    y[i, k] += e[idx[i], k] * 2.0
+            return y
+
+        idx = rng.integers(0, 4, 6).astype(np.int32)
+        e = rng.standard_normal((4, 3)).astype(np.float32)
+        gp = grad(f)
+        exe = GradExecutable(gp)
+        exe(idx, e)
+        g = exe.backward()
+        ref = np.zeros((4, 3), np.float32)
+        for i in range(6):
+            ref[idx[i]] += 2.0
+        np.testing.assert_allclose(g, ref)
+
+
+class TestSoftmaxPattern:
+    """The Longformer softmax inner kernel: max-reduce + exp + normalise."""
+
+    def _softmax(self):
+        @ft.transform
+        def softmax(x: ft.Tensor[("n", "m"), "f32", "input"]):
+            y = ft.empty(("n", "m"), "f32")
+            for i in range(x.shape(0)):
+                mx = -float("inf")
+                for j in range(x.shape(1)):
+                    mx = ft.max(mx, x[i, j])
+                s = 0.0
+                e = ft.empty(("m",), "f32")
+                for j in range(x.shape(1)):
+                    e[j] = ft.exp(x[i, j] - mx)
+                    s += e[j]
+                for j in range(x.shape(1)):
+                    y[i, j] = e[j] / s
+            return y
+
+        return softmax
+
+    def test_forward_and_grad(self, rng):
+        softmax = self._softmax()
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        gp = grad(softmax)
+        exe = GradExecutable(gp)
+        y = exe(x)
+        ref = np.exp(x - x.max(1, keepdims=True))
+        ref /= ref.sum(1, keepdims=True)
+        np.testing.assert_allclose(y, ref, rtol=1e-5)
+
+        og = rng.standard_normal((3, 5)).astype(np.float32)
+        g = exe.backward(out_grads={"y": og})
+        gref = ref * (og - (og * ref).sum(1, keepdims=True))
+        np.testing.assert_allclose(g, gref, rtol=1e-3, atol=1e-5)
+
+    def test_max_target_is_taped(self):
+        softmax = self._softmax()
+        gp = grad(softmax)
+        assert any(t.startswith("mx") for t in gp.tape_names)
+
+    def test_policies_agree(self, rng):
+        softmax = self._softmax()
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        og = rng.standard_normal((2, 4)).astype(np.float32)
+        results = []
+        for policy in ("selective", "all"):
+            exe = GradExecutable(grad(softmax, tapes=policy))
+            exe(x)
+            results.append(exe.backward(out_grads={"y": og}))
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-5)
+
+    def test_selective_tapes_fewer_than_all(self):
+        """Selective materialization stores no more than tape-everything
+        (paper 5.2 / Fig. 18)."""
+        softmax = self._softmax()
+        sel = grad(softmax, tapes="selective")
+        all_ = grad(softmax, tapes="all")
+        assert len(sel.tape_names) <= len(all_.tape_names)
+
+
+class TestMaterializationChoice:
+
+    def test_expensive_intermediate_taped(self, rng):
+        """A reduction-produced intermediate is taped, not recomputed."""
+        @ft.transform
+        def f(a: ft.Tensor[("n", "m"), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                s = 0.0
+                for j in range(a.shape(1)):
+                    s += a[i, j] * a[i, j]
+                y[i] = s * b[i]
+            return y
+
+        gp = check_all_grads(
+            f, [rng.standard_normal((3, 4)).astype(np.float32),
+                rng.standard_normal(3).astype(np.float32)])
+        assert "s" in gp.materialization.tape
+        assert "s" not in gp.materialization.recompute
+
+    def test_explicit_tape_list(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                t = a[i] * b[i]
+                y[i] = t * t
+            return y
+
+        gp = grad(f, tapes=["t"])
+        assert gp.tape_names == ["t.tape"]
+
+    def test_requires_subset(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                y[i] = a[i] * b[i]
+            return y
+
+        gp = grad(f, requires=["a"])
+        exe = GradExecutable(gp)
+        a = rng.standard_normal(4).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        exe(a, b)
+        g = exe.backward()
+        np.testing.assert_allclose(g, b, rtol=1e-5)
+
+
+class TestErrors:
+
+    def test_bad_requires(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "input"]):
+            y = ft.empty((4,), "f32")
+            for i in range(4):
+                y[i] = a[i]
+            return y
+
+        with pytest.raises(ADError):
+            grad(f, requires=["nope"])
+
+    def test_multiplicative_reduction_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "input"],
+              y: ft.Tensor[(), "f32", "inout"]):
+            for i in range(4):
+                y[...] *= a[i]
+
+        with pytest.raises(ADError):
+            grad(f, provides=["y"])
+
+    def test_multi_version_rejected(self):
+        """Write-read-overwrite within one iteration needs multi-version
+        tapes, which this reproduction rejects explicitly."""
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            t = ft.empty((), "f32")
+            for i in range(a.shape(0)):
+                t[...] = a[i] * a[i]
+                y[i] = t * 2.0
+                t[...] = a[i] + 1.0  # second live version
+                y[i] += t * t
+            return y
+
+        with pytest.raises(ADError):
+            grad(f, tapes="all")
+
+
+class TestGradOfScheduled:
+    """AD output is plain IR: it composes with schedules (paper 5.1)."""
+
+    def test_backward_is_parallelizable(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                y[i] = a[i] * a[i]
+            return y
+
+        gp = grad(f)
+        from repro.ir import For, collect_stmts
+        from repro.schedule import Schedule
+
+        s = Schedule(gp.bwd)
+        loops = s.loops()
+        # the main adjoint loop parallelises (iterations independent)
+        main = [l for l in loops if l.iter_var.startswith("i")]
+        s.parallelize(main[-1].sid, "openmp")
+
+    def test_grad_after_schedule(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[(8,), "f32", "input"]):
+            y = ft.empty((8,), "f32")
+            ft.label("L")
+            for i in range(8):
+                y[i] = a[i] * 3.0
+            return y
+
+        from repro.schedule import Schedule
+
+        s = Schedule(f)
+        s.split("L", factor=4)
+        gp = grad(s.func)
+        exe = GradExecutable(gp)
+        exe(rng.standard_normal(8).astype(np.float32))
+        g = exe.backward()
+        np.testing.assert_allclose(g, np.full(8, 3.0), rtol=1e-6)

@@ -1,0 +1,170 @@
+"""Unit tests for AD internals: activity analysis, derivative rules,
+slice extraction and the materialization cost model."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.ad.activity import active_tensors
+from repro.ad.derivatives import grad_contributions, value_dependencies
+from repro.ad.tape_select import choose_materialization, slice_writes
+from repro.ir import (DataType, FloatConst, For, Load, ReduceTo, Store,
+                      Var, dump, makeIntrinsic, seq, wrap)
+
+
+class TestActivity:
+
+    def _func(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "input"],
+              b: ft.Tensor[(4,), "f32", "input"],
+              c: ft.Tensor[(4,), "i32", "input"]):
+            t = ft.empty((4,), "f32")
+            u = ft.empty((4,), "f32")
+            for i in range(4):
+                t[i] = a[i] * 2.0       # on the a->y path
+                u[i] = b[i] * 3.0       # dead end
+            y = ft.empty((4,), "f32")
+            for i in range(4):
+                y[i] = t[i] + 1.0
+            return y
+
+        return f.func
+
+    def test_path_detection(self):
+        func = self._func()
+        act = active_tensors(func, ["a"], ["y"])
+        assert {"a", "t", "y"} <= act
+        assert "u" not in act  # influenced by b, not on the output path
+        assert "b" not in act
+
+    def test_int_tensors_inactive(self):
+        func = self._func()
+        act = active_tensors(func, ["a", "b", "c"], ["y"])
+        assert "c" not in act  # integer data carries no gradient
+
+
+class TestDerivativeRules:
+
+    def _load(self, name="x"):
+        return Load(name, [], DataType.FLOAT32)
+
+    def test_product_rule(self):
+        x, y = self._load("x"), self._load("y")
+        contribs = dict()
+        for load, c in grad_contributions(x * y, FloatConst(1.0)):
+            contribs[load.var] = dump(c)
+        assert contribs["x"] == "y"
+        assert contribs["y"] == "x"
+
+    def test_chain_through_intrinsic(self):
+        x = self._load("x")
+        (load, c), = grad_contributions(makeIntrinsic("exp", [x]),
+                                        FloatConst(1.0))
+        assert "exp(x)" in dump(c)
+
+    def test_repeated_operand_sums(self):
+        x = self._load("x")
+        contribs = grad_contributions(x * x, FloatConst(1.0))
+        assert len(contribs) == 2  # one per occurrence; ReduceTo sums
+
+    def test_integer_subtrees_skipped(self):
+        i = Var("i")
+        x = self._load("x")
+        e = x * ft.exp(wrap(0.0)) + (i + 1) * 0  # int part contributes 0
+        contribs = grad_contributions(e, FloatConst(1.0))
+        assert all(l.var == "x" for l, _ in contribs)
+
+    def test_value_dependencies(self):
+        x, y = self._load("x"), self._load("y")
+        deps = value_dependencies(x * y)
+        assert deps == {"x", "y"}
+        deps_lin = value_dependencies(x + y)
+        assert deps_lin == set()  # linear: no forward values needed
+
+    def test_min_max_subgradient(self):
+        from repro.ir import makeMax
+
+        x, y = self._load("x"), self._load("y")
+        contribs = grad_contributions(makeMax(x, y), FloatConst(1.0))
+        texts = [dump(c) for _l, c in contribs]
+        assert any("?" in t for t in texts)  # routed by a select
+
+
+class TestSliceWrites:
+
+    def test_keeps_only_target_writes(self):
+        body = seq([
+            Store("t", [Var("i")], Load("a", [Var("i")],
+                                        DataType.FLOAT32)),
+            Store("u", [Var("i")], FloatConst(1.0)),
+        ])
+        loop = For("i", 0, 4, body)
+        sl, reads = slice_writes(loop, "t")
+        assert "a" in reads and "u" not in reads
+        text = dump(sl)
+        assert "t[" in text and "u[" not in text
+
+    def test_slices_through_nested_scopes(self):
+        from repro.ir import VarDef
+
+        inner = seq([
+            Store("s", [], FloatConst(0.0)),
+            Store("t", [Var("i")], Load("a", [Var("i")],
+                                        DataType.FLOAT32)),
+        ])
+        scoped = VarDef("s", [], "f32", "cache", "cpu", inner)
+        loop = For("i", 0, 4, scoped)
+        sl, reads = slice_writes(loop, "t")
+        assert "s" not in dump(sl)  # sliced through the VarDef
+
+
+class TestCostModel:
+
+    def test_reduction_loop_forces_tape(self):
+        body = For("j", 0, 8,
+                   ReduceTo("t", [], "+",
+                            Load("a", [Var("j")], DataType.FLOAT32)))
+        mat = choose_materialization(
+            None, ["t"], {"t": body}, available={"a"},
+            policy="selective")
+        assert "t" in mat.tape
+
+    def test_cheap_store_recomputed(self):
+        body = Store("t", [], Load("a", [], DataType.FLOAT32) * 2.0)
+        mat = choose_materialization(
+            None, ["t"], {"t": body}, available={"a"},
+            policy="selective")
+        assert "t" in mat.recompute
+
+    def test_unavailable_read_forces_tape(self):
+        body = Store("t", [], Load("hidden", [], DataType.FLOAT32))
+        mat = choose_materialization(
+            None, ["t"], {"t": body}, available={"a"},
+            policy="selective")
+        assert "t" in mat.tape
+
+    def test_chained_recompute_requires_enclosure(self):
+        b1 = Store("t", [], Load("a", [], DataType.FLOAT32) * 2.0)
+        b2 = Store("u", [], Load("t", [], DataType.FLOAT32) + 1.0)
+        # u's slice reads t; allowed only when t's scope encloses u
+        mat = choose_materialization(
+            None, ["t", "u"], {"t": b1, "u": b2}, available={"a"},
+            policy="selective", enclosing={"u": {"t"}, "t": set()})
+        assert {"t", "u"} <= mat.recompute
+        mat2 = choose_materialization(
+            None, ["t", "u"], {"t": b1, "u": b2}, available={"a"},
+            policy="selective", enclosing={"u": set(), "t": set()})
+        assert "u" in mat2.tape
+
+    def test_explicit_list(self):
+        b1 = Store("t", [], Load("a", [], DataType.FLOAT32) * 2.0)
+        mat = choose_materialization(
+            None, ["t"], {"t": b1}, available={"a"}, policy=["t"])
+        assert "t" in mat.tape
+
+    def test_bad_policy(self):
+        from repro.errors import ADError
+
+        with pytest.raises(ADError):
+            choose_materialization(None, [], {}, set(), "turbo")

@@ -1,0 +1,364 @@
+"""Tests for the three code generators: NumPy (with the vectorize
+lowering), C/OpenMP (semantics details), and CUDA (structural golden)."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.codegen.cuda import generate_cuda
+from repro.codegen.pycode import PyCodegen
+from repro.runtime import build
+from repro.schedule import Schedule
+
+
+class TestPycodeVectorizer:
+
+    def _build_vec(self, program, label="L"):
+        s = Schedule(program)
+        s.vectorize(label)
+        exe = build(s.func, backend="pycode")
+        return exe
+
+    def test_elementwise_store(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[i] = x[i] * 2.0 + 1.0
+            return y
+
+        exe = self._build_vec(f)
+        assert "np.arange" in exe.source
+        x = rng.standard_normal(17).astype(np.float32)
+        np.testing.assert_allclose(exe(x), 2 * x + 1, rtol=1e-6)
+
+    def test_gather_indices(self, rng):
+        """Arbitrary index expressions become fancy-indexed gathers."""
+        @ft.transform
+        def f(x: ft.Tensor[(10,), "f32", "input"],
+              idx: ft.Tensor[(6,), "i32", "input"]):
+            y = ft.empty((6,), "f32")
+            ft.label("L")
+            for i in range(6):
+                y[i] = x[idx[i]] + 1.0
+            return y
+
+        exe = self._build_vec(f)
+        x = rng.standard_normal(10).astype(np.float32)
+        idx = rng.integers(0, 10, 6).astype(np.int32)
+        np.testing.assert_allclose(exe(x, idx), x[idx] + 1)
+
+    def test_reduction_to_scalar(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[(), "f32", "inout"]):
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[...] += x[i] * x[i]
+
+        exe = self._build_vec(f)
+        assert "np.sum" in exe.source
+        x = rng.standard_normal(20).astype(np.float32)
+        out = exe(x, np.zeros((), np.float32))
+        assert abs(float(out) - float((x * x).sum())) < 1e-4
+
+    def test_max_reduction(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[(), "f32", "inout"]):
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[...] = ft.max(y, x[i])
+
+        exe = self._build_vec(f)
+        x = rng.standard_normal(20).astype(np.float32)
+        out = exe(x, np.full((), -1e30, np.float32))
+        assert abs(float(out) - x.max()) < 1e-6
+
+    def test_scatter_add_uses_add_at(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[(12,), "f32", "input"],
+              idx: ft.Tensor[(12,), "i32", "input"],
+              y: ft.Tensor[(4,), "f32", "inout"]):
+            ft.label("L")
+            for i in range(12):
+                y[idx[i]] += x[i]
+
+        s = Schedule(f)
+        s.find("L").property.no_deps = ("y",)  # user-asserted
+        s.vectorize("L")
+        exe = build(s.func, backend="pycode")
+        assert "np.add.at" in exe.source
+        x = rng.standard_normal(12).astype(np.float32)
+        idx = rng.integers(0, 4, 12).astype(np.int32)
+        ref = np.zeros(4, np.float32)
+        np.add.at(ref, idx, x)
+        np.testing.assert_allclose(exe(x, idx, np.zeros(4, np.float32)),
+                                   ref, rtol=1e-5)
+
+    def test_guarded_body_falls_back(self, rng):
+        """Bodies with control flow keep the scalar loop (no vector
+        path), but stay correct."""
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.zeros(("n",), "f32")
+            ft.label("L")
+            for i in range(x.shape(0)):
+                if x[i] > 0.0:
+                    y[i] = x[i]
+            return y
+
+        s = Schedule(f)
+        s.vectorize("L")
+        exe = build(s.func, backend="pycode")
+        x = rng.standard_normal(9).astype(np.float32)
+        np.testing.assert_allclose(exe(x), np.maximum(x, 0), rtol=1e-6)
+
+    def test_empty_range_guard(self):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[(), "f32", "inout"], k: ft.Size):
+            ft.label("L")
+            for i in range(k):
+                y[...] = ft.min(y, x[i])
+
+        s = Schedule(f)
+        s.vectorize("L")
+        exe = build(s.func, backend="pycode")
+        out = exe(np.ones(4, np.float32), np.full((), 7.0, np.float32),
+                  k=0)
+        assert float(out) == 7.0  # empty lane: no np.min([]) crash
+
+
+class TestCBackend:
+
+    def test_python_mod_semantics(self):
+        """C's % differs on negatives; ours must match Python."""
+        @ft.transform
+        def f(y: ft.Tensor[(7,), "i32", "output"]):
+            for i in range(7):
+                y[i] = (i - 3) % 3
+
+        ref = np.array([(i - 3) % 3 for i in range(7)], np.int32)
+        np.testing.assert_array_equal(build(f, backend="c")(), ref)
+
+    def test_python_floordiv_semantics(self):
+        @ft.transform
+        def f(y: ft.Tensor[(7,), "i32", "output"]):
+            for i in range(7):
+                y[i] = (i - 3) // 2
+
+        ref = np.array([(i - 3) // 2 for i in range(7)], np.int32)
+        np.testing.assert_array_equal(build(f, backend="c")(), ref)
+
+    def test_intrinsics_f32(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[(8,), "f32", "input"]):
+            y = ft.empty((8,), "f32")
+            for i in range(8):
+                y[i] = ft.exp(x[i]) + ft.sigmoid(x[i]) \
+                    + ft.sqrt(ft.abs(x[i])) + ft.tanh(x[i])
+            return y
+
+        exe = build(f, backend="c")
+        assert "expf(" in exe.source  # single-precision math selected
+        x = rng.standard_normal(8).astype(np.float32)
+        ref = np.exp(x) + 1 / (1 + np.exp(-x)) + np.sqrt(np.abs(x)) \
+            + np.tanh(x)
+        np.testing.assert_allclose(exe(x), ref, rtol=1e-5)
+
+    def test_infinity_handling(self):
+        """-inf sentinels survive (no -ffast-math)."""
+        @ft.transform
+        def f(x: ft.Tensor[(4,), "f32", "input"]):
+            y = ft.empty((), "f32")
+            y[...] = -float("inf")
+            for i in range(4):
+                y[...] = ft.max(y, x[i])
+            return y
+
+        out = build(f, backend="c")(np.array([-2, -8, -1, -4],
+                                             np.float32))
+        assert float(out) == -1.0
+
+    def test_cse_emitted(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[(6,), "f32", "input"]):
+            y = ft.empty((6,), "f32")
+            z = ft.empty((6,), "f32")
+            for i in range(6):
+                y[i] = ft.exp(x[i]) * (1.0 - ft.exp(x[i]))
+                z[i] = ft.exp(x[i]) + 2.0
+            return y, z
+
+        exe = build(f, backend="c")
+        src = exe.source
+        assert "cse_" in src
+        x = rng.standard_normal(6).astype(np.float32)
+        y, z = exe(x)
+        np.testing.assert_allclose(y, np.exp(x) * (1 - np.exp(x)),
+                                   rtol=1e-5)
+        np.testing.assert_allclose(z, np.exp(x) + 2, rtol=1e-5)
+
+    def test_atomic_reduce_pragma(self):
+        @ft.transform
+        def f(idx: ft.Tensor[(8,), "i32", "input"],
+              x: ft.Tensor[(8,), "f32", "input"],
+              y: ft.Tensor[(3,), "f32", "inout"]):
+            ft.label("L")
+            for i in range(8):
+                y[idx[i]] += x[i]
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        exe = build(s.func, backend="c")
+        assert "#pragma omp atomic" in exe.source
+        idx = np.array([0, 1, 2, 0, 1, 2, 0, 1], np.int32)
+        x = np.ones(8, np.float32)
+        ref = np.zeros(3, np.float32)
+        np.add.at(ref, idx, x)
+        np.testing.assert_allclose(exe(idx, x, np.zeros(3, np.float32)),
+                                   ref)
+
+    def test_source_caching(self):
+        @ft.transform
+        def f(y: ft.Tensor[(2,), "f32", "output"]):
+            for i in range(2):
+                y[i] = 1.0
+
+        a = build(f, backend="c")
+        b = build(f, backend="c")
+        assert a.source == b.source  # same digest -> same .so reused
+
+
+class TestCUDAGolden:
+
+    def _gpu_func(self):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[i] = x[i] * 2.0
+            return y
+
+        s = Schedule(f)
+        o, i = s.split("L", factor=64)
+        s.parallelize(o, "cuda.blockIdx.x")
+        s.parallelize(i, "cuda.threadIdx.x")
+        return s.func
+
+    def test_kernel_structure(self):
+        src = generate_cuda(self._gpu_func())
+        assert "__global__ void kernel0(" in src
+        assert "blockIdx.x" in src and "threadIdx.x" in src
+        assert "kernel0<<<" in src
+        assert "cudaDeviceSynchronize()" in src
+        assert 'extern "C" void entry(' in src
+
+    def test_shared_memory(self):
+        @ft.transform
+        def f(x: ft.Tensor[(64, 32), "f32", "input"]):
+            y = ft.empty((64, 32), "f32")
+            ft.label("Lb")
+            for b in range(64):
+                ft.label("Lt")
+                for t in range(32):
+                    y[b, t] = x[b, t] + 1.0
+            return y
+
+        s = Schedule(f)
+        s.parallelize("Lb", "cuda.blockIdx.x")
+        s.parallelize("Lt", "cuda.threadIdx.x")
+        s.cache("Lt", "x", "gpu/shared")
+        src = generate_cuda(s.func)
+        assert "__shared__" in src
+
+    def test_atomic_add(self):
+        @ft.transform
+        def f(idx: ft.Tensor[(128,), "i32", "input"],
+              x: ft.Tensor[(128,), "f32", "input"],
+              y: ft.Tensor[(8,), "f32", "inout"]):
+            ft.label("L")
+            for i in range(128):
+                y[idx[i]] += x[i]
+
+        s = Schedule(f)
+        o, i = s.split("L", factor=64)
+        s.parallelize(o, "cuda.blockIdx.x")
+        s.parallelize(i, "cuda.threadIdx.x")
+        src = generate_cuda(s.func)
+        assert "atomicAdd(" in src
+
+    def test_grid_dimensions(self):
+        src = generate_cuda(self._gpu_func())
+        # grid = ceil(n/64) blocks of 64 threads
+        assert "dim3(ft_floordiv(((v_n + 64) - 1), 64), 1, 1)" in src
+        assert "dim3(64, 1, 1)" in src
+
+    def test_host_loop_around_kernel(self):
+        """A sequential outer loop stays on the host."""
+        @ft.transform
+        def f(x: ft.Tensor[(4, 32), "f32", "inout"]):
+            for step in range(4):
+                ft.label("L")
+                for i in range(32):
+                    x[step, i] += 1.0
+
+        s = Schedule(f)
+        s.parallelize("L", "cuda.threadIdx.x")
+        src = generate_cuda(s.func)
+        assert "for (int64_t v_step" in src
+        assert "kernel0<<<" in src
+
+
+class TestOpenMPReduction:
+
+    def test_scalar_reduction_clause(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[(), "f32", "inout"]):
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[...] += x[i] * x[i]
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        exe = build(s.func, backend="c")
+        assert "reduction(+:" in exe.source
+        assert "#pragma omp atomic" not in exe.source
+        x = rng.standard_normal(1000).astype(np.float32)
+        out = exe(x, np.zeros((), np.float32))
+        assert abs(float(out) - float((x * x).sum())) < 1e-2
+
+    def test_max_reduction_clause(self, rng):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[(), "f32", "inout"]):
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[...] = ft.max(y, x[i])
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        exe = build(s.func, backend="c")
+        assert "reduction(max:" in exe.source
+        x = rng.standard_normal(500).astype(np.float32)
+        out = exe(x, np.full((), -1e30, np.float32))
+        assert abs(float(out) - x.max()) < 1e-6
+
+    def test_array_targets_keep_atomics(self):
+        @ft.transform
+        def f(idx: ft.Tensor[(64,), "i32", "input"],
+              x: ft.Tensor[(64,), "f32", "input"],
+              y: ft.Tensor[(4,), "f32", "inout"]):
+            ft.label("L")
+            for i in range(64):
+                y[idx[i]] += x[i]
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        exe = build(s.func, backend="c")
+        assert "#pragma omp atomic" in exe.source
+        assert "reduction(" not in exe.source

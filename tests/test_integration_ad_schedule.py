@@ -1,0 +1,158 @@
+"""Integration: AD output is ordinary IR — it schedules, runs on every
+backend (including the simulated GPU), and composes with the pipeline."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.ad import GradExecutable, grad
+from repro.autosched import CPU, GPU, auto_schedule
+from repro.runtime import build
+from repro.schedule import Schedule
+from repro.workloads import longformer, subdivnet
+
+
+class TestScheduledBackward:
+
+    def test_autoscheduled_bwd_matches_plain(self, rng):
+        data = subdivnet.make_data(n_faces=16, in_feats=4, out_feats=4)
+        gp = grad(subdivnet.make_program(), requires=["e", "w"])
+
+        plain = GradExecutable(gp, backend="pycode")
+        plain(data["adj"], data["e"], data["w"])
+        ge0, gw0 = plain.backward()
+
+        opt = GradExecutable(gp, backend="pycode", optimize=True,
+                             target=CPU)
+        opt(data["adj"], data["e"], data["w"])
+        ge1, gw1 = opt.backward()
+        np.testing.assert_allclose(ge1, ge0, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(gw1, gw0, rtol=1e-4, atol=1e-5)
+
+    def test_bwd_on_simulated_gpu(self, rng):
+        data = longformer.make_data(seq_len=20, feat_len=4, w=2)
+        gp = grad(longformer.make_program(), requires=["q"])
+        bwd_gpu = auto_schedule(gp.bwd, target=GPU)
+        # run fwd normally to obtain tapes, then bwd on the simulator
+        fwd = build(gp.fwd)
+        outs = fwd(data["q"], data["k"], data["v"], w=data["w"])
+        named = dict(zip(fwd.returns, outs))
+        exe = build(bwd_gpu, backend="gpusim")
+        args = []
+        for p in exe.data_params:
+            if p in named:
+                args.append(named[p])
+            elif p in ("q", "k", "v"):
+                args.append(data[p])
+            else:  # the output gradient
+                args.append(np.ones_like(data["q"]))
+        gq = exe(*args, w=data["w"])
+        ref = longformer.grad_reference(
+            data, np.ones_like(data["q"]))["q"]
+        np.testing.assert_allclose(gq, ref, rtol=1e-3, atol=1e-3)
+
+    def test_manual_schedule_of_bwd(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                y[i] = a[i] * a[i] * 3.0
+            return y
+
+        gp = grad(f)
+        s = Schedule(gp.bwd)
+        loops = [l for l in s.loops() if l.iter_var.startswith("i")]
+        s.parallelize(loops[0].sid, "openmp")
+        exe_fwd = build(gp.fwd)
+        x = rng.standard_normal(10).astype(np.float32)
+        _ = exe_fwd(x)
+        exe_bwd = build(s.func, backend="c")
+        g = exe_bwd(x, np.ones(10, np.float32))
+        np.testing.assert_allclose(g, 6 * x, rtol=1e-5)
+
+
+class TestGradPolicies:
+
+    def test_none_policy_recomputes_everything_possible(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                t = a[i] * a[i]
+                u = t  # not used for grads...
+                y[i] = ft.exp(a[i]) * 2.0
+            return y
+
+        gp = grad(f, tapes="none")
+        assert not gp.tape_names
+        exe = GradExecutable(gp)
+        x = rng.standard_normal(5).astype(np.float32)
+        exe(x)
+        g = exe.backward()
+        np.testing.assert_allclose(g, 2 * np.exp(x), rtol=1e-4)
+
+    def test_grad_through_if_else(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            for i in range(a.shape(0)):
+                if a[i] > 0.0:
+                    y[i] = a[i] * b[i]
+                else:
+                    y[i] = a[i] + b[i]
+            return y
+
+        gp = grad(f)
+        exe = GradExecutable(gp)
+        a = rng.standard_normal(8).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        exe(a, b)
+        ga, gb = exe.backward()
+        np.testing.assert_allclose(ga, np.where(a > 0, b, 1.0),
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(gb, np.where(a > 0, a, 1.0),
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_grad_of_parsed_program(self, rng):
+        """parse -> grad -> run: text IR is a first-class citizen."""
+        from repro.ir.parser import parse_program
+
+        text = (
+            "func sq(x, n) -> y {\n"
+            "  @input x: f32[n] @cpu {\n"
+            "    @output y: f32[n] @cpu {\n"
+            "      for i in 0:n {\n"
+            "        y[i] = x[i] * x[i]\n"
+            "      }\n"
+            "    }\n"
+            "  }\n"
+            "}\n")
+        gp = grad(parse_program(text), requires=["x"])
+        exe = GradExecutable(gp)
+        x = rng.standard_normal(6).astype(np.float32)
+        exe(x)
+        np.testing.assert_allclose(exe.backward(), 2 * x, rtol=1e-5)
+
+
+class TestFissionAcrossScopes:
+
+    def test_legal_fission_with_vardef(self, rng):
+        """Fissioning across a duplicated (dead-on-one-side) VarDef."""
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[("n",), "f32", "output"],
+              z: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(a.shape(0)):
+                t = a[i] * 2.0
+                ft.label("S1")
+                y[i] = t + 1.0
+                z[i] = a[i] - 1.0  # does not read t
+
+        s = Schedule(f)
+        front, back = s.fission("L", after="S1")
+        x = rng.standard_normal(6).astype(np.float32)
+        yy, zz = build(s.func)(x)
+        np.testing.assert_allclose(yy, 2 * x + 1, rtol=1e-6)
+        np.testing.assert_allclose(zz, x - 1, rtol=1e-6)

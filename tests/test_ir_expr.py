@@ -1,0 +1,183 @@
+"""Unit tests for IR expressions: construction, folding, dtypes, identity."""
+
+import pytest
+
+from repro.ir import (Add, BoolConst, Cast, DataType, FloatConst, IntConst,
+                      Intrinsic, Load, Max, Min, Mul, Sub, Var, join_dtype,
+                      makeCast, makeIntrinsic, makeMax, makeMin, print_expr,
+                      same_expr, wrap, wrap_like)
+
+
+class TestConstruction:
+
+    def test_wrap_scalars(self):
+        assert isinstance(wrap(3), IntConst)
+        assert isinstance(wrap(3.5), FloatConst)
+        assert isinstance(wrap(True), BoolConst)
+        assert wrap(True).val is True
+
+    def test_wrap_passthrough(self):
+        v = Var("i")
+        assert wrap(v) is v
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TypeError):
+            wrap("hello")
+
+    def test_wrap_like(self):
+        assert wrap_like(3, DataType.FLOAT32).val == 3.0
+        assert isinstance(wrap_like(3, DataType.FLOAT32), FloatConst)
+        assert isinstance(wrap_like(2.7, DataType.INT32), IntConst)
+        assert wrap_like(2.7, DataType.INT32).val == 2
+
+    def test_operator_overloads_build_nodes(self):
+        i = Var("i")
+        e = i * 2 + 1
+        assert isinstance(e, Add)
+        assert isinstance(e.lhs, Mul)
+
+    def test_reflected_operators(self):
+        i = Var("i")
+        assert isinstance(2 - i, Sub)
+        assert isinstance(2 * i, Mul)
+
+
+class TestFolding:
+
+    def test_constant_folding(self):
+        assert (wrap(2) + wrap(3)).val == 5
+        assert (wrap(2) * wrap(3)).val == 6
+        assert (wrap(7) // wrap(2)).val == 3
+        assert (wrap(7) % wrap(2)).val == 1
+
+    def test_identity_elimination(self):
+        i = Var("i")
+        assert (i + 0) is i
+        assert (0 + i) is i
+        assert (i * 1) is i
+        assert (i - 0) is i
+        assert same_expr(i - i, 0)
+
+    def test_mul_zero_int_only(self):
+        i = Var("i")
+        assert same_expr(i * 0, 0)
+        x = Load("a", [i], DataType.FLOAT32)
+        # 0 * NaN != 0, so float multiplications by zero must survive.
+        assert isinstance(x * 0, Mul)
+
+    def test_min_max_folding(self):
+        assert makeMin(2, 3).val == 2
+        assert makeMax(2, 3).val == 3
+        i = Var("i")
+        assert makeMin(i, i) is i
+
+    def test_comparison_folding(self):
+        assert (wrap(2) < wrap(3)).val is True
+        i = Var("i")
+        assert same_expr(i <= i, True)
+        assert same_expr(i != i, False)
+
+    def test_logical_folding(self):
+        i = Var("i")
+        c = i < 3
+        assert c.logical_and(True) is c
+        assert same_expr(c.logical_and(False), False)
+        assert c.logical_or(False) is c
+        assert same_expr(c.logical_or(True), True)
+        assert c.logical_not().logical_not() is c
+
+    def test_intrinsic_folding(self):
+        assert makeIntrinsic("abs", [wrap(-3)]).val == 3
+        assert makeIntrinsic("exp", [wrap(0.0)]).val == 1.0
+        assert makeIntrinsic("pow", [wrap(2.0), wrap(3.0)]).val == 8.0
+
+    def test_intrinsic_domain_error_not_folded(self):
+        e = makeIntrinsic("sqrt", [wrap(-1.0)])
+        assert isinstance(e, Intrinsic)
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(ValueError):
+            Intrinsic("frobnicate", [], DataType.FLOAT32)
+
+    def test_cast_folding(self):
+        assert makeCast(wrap(2.7), DataType.INT32).val == 2
+        i = Var("i")
+        assert makeCast(i, DataType.INT32) is i
+        assert isinstance(makeCast(i, DataType.FLOAT32), Cast)
+
+
+class TestDtypes:
+
+    def test_join(self):
+        assert join_dtype(DataType.INT32, DataType.FLOAT32) \
+            is DataType.FLOAT32
+        assert join_dtype(DataType.FLOAT64, DataType.FLOAT32) \
+            is DataType.FLOAT64
+        assert join_dtype(DataType.BOOL, DataType.INT64) is DataType.INT64
+
+    def test_binop_dtype(self):
+        a = Load("a", [], DataType.FLOAT32)
+        i = Var("i")
+        assert (a + i).dtype is DataType.FLOAT32
+        assert (i + 1).dtype is DataType.INT32
+
+    def test_realdiv_always_float(self):
+        i, j = Var("i"), Var("j")
+        assert (i / j).dtype is DataType.FLOAT32
+
+    def test_cmp_dtype_bool(self):
+        i = Var("i")
+        assert (i < 3).dtype is DataType.BOOL
+
+    def test_parse(self):
+        assert DataType.parse("f32") is DataType.FLOAT32
+        assert DataType.parse("float64") is DataType.FLOAT64
+        with pytest.raises(ValueError):
+            DataType.parse("f16x")
+
+    def test_sizes(self):
+        assert DataType.FLOAT64.size_bytes == 8
+        assert DataType.INT32.size_bytes == 4
+        assert DataType.BOOL.size_bytes == 1
+
+
+class TestIdentity:
+
+    def test_same_expr(self):
+        i = Var("i")
+        a = Load("a", [i + 1], DataType.FLOAT32)
+        b = Load("a", [Var("i") + 1], DataType.FLOAT32)
+        assert same_expr(a, b)
+        assert not same_expr(a, Load("b", [i + 1], DataType.FLOAT32))
+        assert not same_expr(a, Load("a", [i + 2], DataType.FLOAT32))
+
+    def test_hashable(self):
+        i = Var("i")
+        s = {(i + 1).key(), (i + 1).key(), (i + 2).key()}
+        assert len(s) == 2
+
+    def test_bool_conversion_raises(self):
+        i = Var("i")
+        with pytest.raises(TypeError):
+            bool(i < 3)
+
+
+class TestPrinter:
+
+    def test_simple(self):
+        i = Var("i")
+        assert print_expr(i + 1) == "i + 1"
+        assert print_expr((i + 1) * 2) == "(i + 1) * 2"
+        assert print_expr(i * 2 + 1) == "i * 2 + 1"
+
+    def test_load(self):
+        i = Var("i")
+        e = Load("a", [i, i + 1], DataType.FLOAT32)
+        assert print_expr(e) == "a[i, i + 1]"
+
+    def test_min_max_as_calls(self):
+        i = Var("i")
+        assert print_expr(makeMin(i, 3)) == "min(i, 3)"
+
+    def test_infinity(self):
+        assert print_expr(wrap(float("-inf"))) == "-inf"

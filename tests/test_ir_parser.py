@@ -1,0 +1,179 @@
+"""Round-trip tests for the textual IR format: print -> parse -> print."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.errors import InvalidProgram
+from repro.ir import dump, match
+from repro.ir.parser import parse_program, parse_stmt
+
+
+def roundtrip(func):
+    text = dump(func)
+    parsed = parse_program(text)
+    assert dump(parsed) == text
+    assert match(parsed.body, func.body)
+    return parsed
+
+
+class TestStatements:
+
+    def test_store_expr(self):
+        s = parse_stmt("a[i, j + 1] = b[i] * 2.0 + 1.0\n")
+        assert dump(s) == "a[i, j + 1] = b[i] * 2.0 + 1.0\n"
+
+    def test_reduce(self):
+        s = parse_stmt("y[i] += x[i] * x[i]\n")
+        assert dump(s) == "y[i] += x[i] * x[i]\n"
+
+    def test_precedence_preserved(self):
+        for text in [
+                "a[0] = (i + 1) * 2\n",
+                "a[0] = i * 2 + 1\n",
+                "a[0] = i - (j - k)\n",
+                "a[0] = i // 2 % 3\n",
+                "a[0] = min(i, max(j, 3))\n",
+        ]:
+            assert dump(parse_stmt(text)) == text
+
+    def test_conditions(self):
+        text = ("if i + k >= 0 and i + k < n {\n"
+                "  y[i] = 1.0\n"
+                "} else {\n"
+                "  y[i] = 0.0\n"
+                "}\n")
+        assert dump(parse_stmt(text)) == text
+
+    def test_ternary_and_not(self):
+        # at statement level the printer emits the select unparenthesised
+        text = "a[0] = i < 3 ? 1.0 : 2.0\n"
+        assert dump(parse_stmt(text)) == text
+        text2 = "a[0] = !(i < 3) ? 1.0 : 2.0\n"
+        assert dump(parse_stmt(text2)) == text2
+
+    def test_loop_annotations(self):
+        text = ("for i in 0:n /*parallel=openmp*/ {\n"
+                "  for j in 0:4 /*vectorize*/ {\n"
+                "    y[i, j] += x[i, j] /*atomic*/\n"
+                "  }\n"
+                "}\n")
+        s = parse_stmt(text)
+        assert s.property.parallel == "openmp"
+        assert dump(s) == text
+
+    def test_intrinsics_and_cast(self):
+        text = "a[0] = exp(sqrt(abs(x[0]))) + f32(i)\n"
+        assert dump(parse_stmt(text)) == text
+
+    def test_negative_and_inf(self):
+        text = "a[0] = -inf\n"
+        assert dump(parse_stmt(text)) == text
+
+    def test_vardef_block(self):
+        text = ("@cache t: f32[n, 4] @gpu/shared {\n"
+                "  for i in 0:n {\n"
+                "    t[i, 0] = 0.0\n"
+                "  }\n"
+                "}\n")
+        assert dump(parse_stmt(text)) == text
+
+    def test_labels(self):
+        text = ("L1: for i in 0:n {\n"
+                "  y[i] = 0.0\n"
+                "}\n")
+        s = parse_stmt(text)
+        assert s.label == "L1"
+        assert dump(s) == text
+
+    def test_libcall(self):
+        text = "lib.matmul(c <- a, b)\n"
+        s = parse_stmt(text)
+        assert s.kind == "matmul"
+        assert s.outs == ("c",)
+        assert s.args == ("a", "b")
+
+    def test_assert_block(self):
+        text = ("assert g == 4 * f {\n"
+                "  y[0] = 1.0\n"
+                "}\n")
+        assert dump(parse_stmt(text)) == text
+
+    def test_scalar_tensor_load(self):
+        text = ("@cache s: f32[] @cpu {\n"
+                "  s = 0.0\n"
+                "  y[0] = s + 1.0\n"
+                "}\n")
+        s = parse_stmt(text)
+        assert dump(s) == text
+
+    def test_error_on_garbage(self):
+        with pytest.raises(InvalidProgram):
+            parse_stmt("for for for\n")
+        with pytest.raises(InvalidProgram):
+            parse_program("not a func")
+
+
+class TestProgramRoundTrip:
+
+    def test_staged_programs_roundtrip(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n", "m"), "f32", "input"],
+              idx: ft.Tensor[("n",), "i32", "input"]):
+            y = ft.zeros(("n",), "f32")
+            for i in range(a.shape(0)):
+                if idx[i] >= 0:
+                    for j in range(a.shape(1)):
+                        y[i] += a[i, (j + 1) % a.shape(1)] * 2.0
+            return y
+
+        parsed = roundtrip(f.func)
+        assert parsed.params == f.func.params
+        assert parsed.scalar_params == f.func.scalar_params
+        assert parsed.returns == f.func.returns
+
+    def test_workloads_roundtrip(self):
+        from repro.workloads import gat, longformer, softras, subdivnet
+
+        for mod in (subdivnet, longformer, softras, gat):
+            roundtrip(mod.make_program().func)
+
+    def test_scheduled_roundtrip(self):
+        from repro.autosched import CPU, auto_schedule
+        from repro.workloads import subdivnet
+
+        func = auto_schedule(subdivnet.make_program(), target=CPU)
+        text = dump(func)
+        parsed = parse_program(text)
+        assert dump(parsed) == text
+
+    def test_parsed_program_runs(self):
+        """A parsed program is a real program: it executes."""
+        from repro.runtime import build
+
+        text = (
+            "func saxpy(x, y, n) -> z {\n"
+            "  @input x: f32[n] @cpu {\n"
+            "    @input y: f32[n] @cpu {\n"
+            "      @output z: f32[n] @cpu {\n"
+            "        for i in 0:n {\n"
+            "          z[i] = 2.0 * x[i] + y[i]\n"
+            "        }\n"
+            "      }\n"
+            "    }\n"
+            "  }\n"
+            "}\n")
+        func = parse_program(text)
+        exe = build(func)
+        x = np.arange(4, dtype=np.float32)
+        np.testing.assert_allclose(exe(x, x), 3 * x)
+
+    def test_grad_programs_roundtrip(self):
+        from repro.ad import grad
+        from repro.workloads import longformer
+
+        gp = grad(longformer.make_program(), requires=["q", "k", "v"])
+        # backward passes contain reversed loops, tape loads, reductions
+        text = dump(gp.bwd)
+        parsed = parse_program(text)
+        assert dump(parsed) == text

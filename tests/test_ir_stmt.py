@@ -1,0 +1,156 @@
+"""Unit tests for IR statements, matching, and functional helpers."""
+
+import pytest
+
+from repro.ir import (Any, AnyExpr, DataType, For, If, IntConst, Load,
+                      ReduceTo, Stmt, StmtSeq, Store, Var, VarDef, Func,
+                      collect_stmts, count_nodes, defined_tensors, dump,
+                      find_stmt, fresh_copy, fresh_name, match, reads_of,
+                      rename_tensor, seq, substitute, used_names, writes_of)
+
+
+def _loop_nest():
+    i, j = Var("i"), Var("j")
+    store = Store("a", [i, j], Load("b", [i, j], DataType.FLOAT32) + 1)
+    inner = For("j", 0, 8, store)
+    outer = For("i", 0, 4, inner, label="Li")
+    return VarDef("a", [4, 8], "f32", "output", "cpu",
+                  VarDef("b", [4, 8], "f32", "input", "cpu", outer))
+
+
+class TestConstruction:
+
+    def test_sids_unique(self):
+        a = Store("x", [], 1)
+        b = Store("x", [], 1)
+        assert a.sid != b.sid
+
+    def test_reduce_op_validation(self):
+        with pytest.raises(ValueError):
+            ReduceTo("x", [], "^", 1)
+
+    def test_seq_flattens(self):
+        s = seq([StmtSeq([Store("x", [], 1), Store("x", [], 2)]),
+                 Store("x", [], 3)])
+        assert isinstance(s, StmtSeq)
+        assert len(s.stmts) == 3
+
+    def test_seq_single(self):
+        st = Store("x", [], 1)
+        assert seq([st]) is st
+
+    def test_for_len(self):
+        f = For("i", 2, Var("n"), Store("x", [], 1))
+        assert dump(f.len) == "n - 2"
+
+
+class TestCollect:
+
+    def test_collect_and_find(self):
+        tree = _loop_nest()
+        loops = collect_stmts(tree, lambda s: isinstance(s, For))
+        assert [l.iter_var for l in loops] == ["i", "j"]
+        assert find_stmt(tree, "Li").iter_var == "i"
+        with pytest.raises(KeyError):
+            find_stmt(tree, "nope")
+
+    def test_defined_tensors(self):
+        tree = _loop_nest()
+        defs = defined_tensors(tree)
+        assert set(defs) == {"a", "b"}
+        assert defs["a"].atype.is_written
+
+    def test_reads_writes(self):
+        tree = _loop_nest()
+        assert set(reads_of(tree)) == {"b"}
+        assert set(writes_of(tree)) == {"a"}
+
+    def test_used_names(self):
+        tree = _loop_nest()
+        assert used_names(tree) == {"a", "b", "i", "j"}
+
+    def test_fresh_name(self):
+        assert fresh_name("x", {"x", "x.1"}) == "x.2"
+        assert fresh_name("y", {"x"}) == "y"
+
+    def test_count_nodes_positive(self):
+        assert count_nodes(_loop_nest()) > 5
+
+
+class TestTransforms:
+
+    def test_substitute(self):
+        i = Var("i")
+        st = Store("a", [i], i * 2)
+        out = substitute(st, {"i": IntConst(3)})
+        assert match(Store("a", [IntConst(3)], IntConst(6)), out)
+
+    def test_substitute_preserves_sid(self):
+        st = Store("a", [Var("i")], 1)
+        out = substitute(st, {"i": IntConst(0)})
+        assert out.sid == st.sid
+
+    def test_rename_tensor(self):
+        tree = _loop_nest()
+        out = rename_tensor(tree, "a", "c")
+        assert "a" not in used_names(out)
+        assert "c" in used_names(out)
+        # reads of b unchanged
+        assert set(reads_of(out)) == {"b"}
+
+    def test_fresh_copy_new_sids(self):
+        tree = _loop_nest()
+        cp = fresh_copy(tree)
+        orig = {s.sid for s in collect_stmts(tree, lambda s: True)}
+        copied = {s.sid for s in collect_stmts(cp, lambda s: True)}
+        assert not orig & copied
+        assert match(tree, cp)
+
+
+class TestMatch:
+
+    def test_exact(self):
+        assert match(_loop_nest(), _loop_nest())
+
+    def test_wildcard_stmt(self):
+        pat = VarDef("a", [4, 8], "f32", "output", "cpu",
+                     VarDef("b", [4, 8], "f32", "input", "cpu", Any()))
+        assert match(pat, _loop_nest())
+
+    def test_wildcard_expr(self):
+        i = Var("i")
+        pat = Store("a", [AnyExpr()], AnyExpr())
+        assert match(pat, Store("a", [i + 1], i * i))
+        assert not match(pat, Store("b", [i], i))
+
+    def test_mismatch_shape(self):
+        a = VarDef("a", [4], "f32", "cache", "cpu", Any())
+        b = VarDef("a", [5], "f32", "cache", "cpu", StmtSeq([]))
+        assert not match(a, b)
+
+    def test_singleton_seq_equivalence(self):
+        st = Store("x", [], 1)
+        assert match(StmtSeq([Store("x", [], 1)]), st)
+        assert match(st, StmtSeq([Store("x", [], 1)]))
+
+    def test_if_matching(self):
+        i = Var("i")
+        a = If(i < 3, Store("x", [], 1))
+        b = If(i < 3, Store("x", [], 1))
+        c = If(i < 3, Store("x", [], 1), Store("x", [], 2))
+        assert match(a, b)
+        assert not match(a, c)
+
+
+class TestFunc:
+
+    def test_interface_tensors(self):
+        f = Func("f", ["a", "b"], ["y", "b"], StmtSeq([]),
+                 scalar_params=["n"])
+        assert f.interface_tensors() == ["a", "b", "y"]
+
+    def test_dump_contains_header(self):
+        f = Func("myfn", ["a"], ["y"], _loop_nest())
+        text = dump(f)
+        assert text.startswith("func myfn(a) -> y {")
+        assert "for i in 0:4" in text

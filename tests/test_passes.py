@@ -1,0 +1,229 @@
+"""Unit tests for the lowering passes."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.ir import (Assert, BoolConst, For, If, IntConst, Load, ReduceTo,
+                      Store, StmtSeq, Var, VarDef, collect_stmts, dump,
+                      match, seq)
+from repro.passes import (flatten_stmt_seq, lower, make_reduction,
+                          prune_branches, remove_dead_writes, simplify,
+                          simplify_expr)
+
+
+class TestSimplify:
+
+    def test_constant_if_pruned(self):
+        s = If(BoolConst(True), Store("a", [], 1), Store("a", [], 2))
+        out = simplify(s)
+        assert match(out, Store("a", [], 1))
+
+    def test_empty_loop_removed(self):
+        s = For("i", 3, 3, Store("a", [Var("i")], 1))
+        out = simplify(s)
+        assert isinstance(out, StmtSeq) and not out.stmts
+
+    def test_single_iteration_inlined(self):
+        s = For("i", 2, 3, Store("a", [Var("i")], Var("i") * 2))
+        out = simplify(s)
+        assert match(out, Store("a", [IntConst(2)], IntConst(4)))
+
+    def test_linear_cancellation(self):
+        i, m = Var("i"), Var("m")
+        e = simplify_expr(i + (m - 1) - i + 1)
+        assert dump(e) == "m"
+
+    def test_linear_collection(self):
+        i = Var("i")
+        e = simplify_expr(i + i + i)
+        assert dump(e) == "3 * i" or dump(e) == "i * 3"
+
+    def test_float_not_reassociated(self):
+        x = Load("x", [], ft.Tensor and __import__(
+            "repro.ir", fromlist=["DataType"]).DataType.FLOAT32)
+        e = (x + 1.0) - x  # must NOT fold to 1.0 (float semantics)
+        out = simplify_expr(e)
+        assert "x" in dump(out)
+
+    def test_idempotent(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4, 4), "f32", "input"]):
+            y = ft.zeros((4, 4), "f32")
+            for i in range(4):
+                for j in range(4):
+                    y[i, j] = a[i, j] * 1.0 + 0.0
+            return y
+
+        once = simplify(f.func)
+        twice = simplify(once)
+        assert dump(once) == dump(twice)
+
+
+class TestPrune:
+
+    def test_range_implied_branch(self):
+        body = If(Var("i") < 10, Store("a", [Var("i")], 1),
+                  Store("a", [Var("i")], 2))
+        loop = For("i", 0, 5, body)
+        out = prune_branches(loop)
+        ifs = collect_stmts(out, lambda s: isinstance(s, If))
+        assert not ifs  # i < 5 <= 10 always
+
+    def test_negated_branch(self):
+        body = If(Var("i") >= 10, Store("a", [Var("i")], 1))
+        loop = For("i", 0, 5, body)
+        out = prune_branches(loop)
+        stores = collect_stmts(out, lambda s: isinstance(s, Store))
+        assert not stores  # never taken, else empty
+
+    def test_undecidable_kept(self):
+        body = If(Var("i") < Var("k"), Store("a", [Var("i")], 1))
+        loop = For("i", 0, 5, body)
+        out = prune_branches(loop)
+        assert collect_stmts(out, lambda s: isinstance(s, If))
+
+    def test_nested_condition_context(self):
+        inner = If(Var("i") < 8, Store("a", [Var("i")], 1),
+                   Store("a", [Var("i")], 2))
+        outer = If(Var("i") < 3, inner)
+        loop = For("i", 0, 100, outer)
+        out = prune_branches(loop)
+        # inside i < 3, the i < 8 branch is decided
+        ifs = collect_stmts(out, lambda s: isinstance(s, If))
+        assert len(ifs) == 1
+
+    def test_minmax_bounds(self):
+        """Bounds with min/max (from separate_tail cuts) still prune."""
+        from repro.ir import makeMax, makeMin
+
+        k, n = Var("k"), Var("n")
+        cut = makeMax(IntConst(0), makeMin(k, n))
+        body = If(Var("i") < k, Store("a", [Var("i")], 1),
+                  Store("a", [Var("i")], 2))
+        loop = For("i", 0, cut, body)
+        out = prune_branches(loop)
+        stores = collect_stmts(out, lambda s: isinstance(s, Store))
+        assert len(stores) == 1  # else-branch proven dead
+
+
+class TestMakeReduction:
+
+    def test_add_forms(self):
+        i = Var("i")
+        from repro.ir import DataType
+
+        load = Load("y", [i], DataType.FLOAT32)
+        v = Load("x", [i], DataType.FLOAT32)
+        for expr in (load + v, v + load):
+            out = make_reduction(Store("y", [i], expr))
+            assert isinstance(out, ReduceTo) and out.op == "+"
+
+    def test_sub_becomes_negated_add(self):
+        i = Var("i")
+        from repro.ir import DataType
+
+        load = Load("y", [i], DataType.FLOAT32)
+        v = Load("x", [i], DataType.FLOAT32)
+        out = make_reduction(Store("y", [i], load - v))
+        assert isinstance(out, ReduceTo) and out.op == "+"
+
+    def test_minmax(self):
+        from repro.ir import DataType, makeMax
+
+        load = Load("y", [], DataType.FLOAT32)
+        v = Load("x", [], DataType.FLOAT32)
+        out = make_reduction(Store("y", [], makeMax(load, v)))
+        assert isinstance(out, ReduceTo) and out.op == "max"
+
+    def test_different_index_not_converted(self):
+        i = Var("i")
+        from repro.ir import DataType
+
+        load = Load("y", [i + 1], DataType.FLOAT32)
+        out = make_reduction(Store("y", [i], load + 1.0))
+        assert isinstance(out, Store)
+
+    def test_self_in_both_operands_not_converted(self):
+        from repro.ir import DataType
+
+        load = Load("y", [], DataType.FLOAT32)
+        out = make_reduction(Store("y", [], load + load))
+        assert isinstance(out, Store)
+
+
+class TestDeadWrites:
+
+    def test_unused_cache_removed(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "input"]):
+            t = ft.zeros((4,), "f32")  # never contributes to the output
+            for i in range(4):
+                t[i] = a[i] * 2.0
+            y = ft.zeros((4,), "f32")
+            for i in range(4):
+                y[i] = a[i] + 1.0
+            return y
+
+        out = remove_dead_writes(f.func)
+        names = {d.name for d in collect_stmts(
+            out.body, lambda s: isinstance(s, VarDef))}
+        assert "t" not in names
+
+    def test_chained_liveness(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "input"]):
+            t = ft.zeros((4,), "f32")
+            for i in range(4):
+                t[i] = a[i] * 2.0
+            y = ft.zeros((4,), "f32")
+            for i in range(4):
+                y[i] = t[i] + 1.0  # t reaches the output through y
+            return y
+
+        out = remove_dead_writes(f.func)
+        names = {d.name for d in collect_stmts(
+            out.body, lambda s: isinstance(s, VarDef))}
+        assert "t" in names
+
+    def test_index_tensor_is_live(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "input"],
+              idx: ft.Tensor[(4,), "i32", "input"]):
+            y = ft.zeros((4,), "f32")
+            for i in range(4):
+                y[idx[i]] = a[i]
+            return y
+
+        out = remove_dead_writes(f.func)
+        exe = __import__("repro.runtime", fromlist=["build"]).build(out)
+        a = np.arange(4, dtype=np.float32)
+        idx = np.array([3, 2, 1, 0], np.int32)
+        np.testing.assert_allclose(exe(a, idx), a[::-1])
+
+
+class TestLowerPipeline:
+
+    def test_full_pipeline_preserves_results(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"]):
+            dead = ft.zeros(("n",), "f32")
+            for i in range(a.shape(0)):
+                dead[i] = a[i]
+            y = ft.zeros(("n",), "f32")
+            for i in range(a.shape(0)):
+                if i >= 0:  # always true
+                    y[i] = y[i] + a[i] * 2.0  # becomes ReduceTo
+            return y
+
+        from repro.runtime import build
+
+        x = rng.standard_normal(6).astype(np.float32)
+        out_f = build(f.func, backend="interp")(x)
+        lowered = lower(f.func)
+        out_l = build(lowered, backend="interp")(x)
+        np.testing.assert_allclose(out_l, out_f, rtol=1e-6)
+        # the dead tensor is gone and the reduce is recognised
+        names = {d.name for d in collect_stmts(
+            lowered.body, lambda s: isinstance(s, VarDef))}
+        assert "dead" not in names

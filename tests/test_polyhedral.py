@@ -1,0 +1,236 @@
+"""Tests for the Presburger engine: affine algebra, the Omega test, and
+set/map operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import DataType, Load, Var, wrap
+from repro.polyhedral import (Affine, AffineBuilder, BasicMap, BasicSet,
+                              LinCon, NonAffine, eq_constraints, is_feasible,
+                              lex_gt_constraints, try_affine)
+
+x, y, z, N = (Affine.var(v) for v in "xyzN")
+
+
+class TestAffine:
+
+    def test_algebra(self):
+        e = x * 2 + y - 3
+        assert e.coeff("x") == 2
+        assert e.coeff("y") == 1
+        assert e.const == -3
+
+    def test_cancellation(self):
+        assert (x - x).is_constant()
+
+    def test_substitute(self):
+        e = x * 2 + y
+        out = e.substitute("x", y + 1)
+        assert out.coeff("y") == 3
+        assert out.const == 2
+
+    def test_rename(self):
+        assert (x + y).rename({"x": "w"}).coeff("w") == 1
+
+    def test_content(self):
+        assert (x * 4 + y * 6).content() == 2
+
+
+class TestLinCon:
+
+    def test_normalize_tightens(self):
+        # 2x - 1 >= 0  =>  x >= 1 (integer)  => x - 1 >= 0 after tighten
+        c = LinCon.ge0(x * 2 - 1).normalized()
+        assert c.expr.coeff("x") == 1
+        assert c.expr.const == -1
+
+    def test_normalize_eq_gcd_infeasible(self):
+        from repro.polyhedral import Infeasible
+
+        with pytest.raises(Infeasible):
+            LinCon.eq0(x * 2 - 1).normalized()
+
+    def test_trivial_true_dropped(self):
+        assert LinCon.ge0(Affine.constant(5)).normalized() is None
+
+
+class TestOmega:
+    """Hand-checked feasibility cases including dark-shadow territory."""
+
+    def test_simple_box(self):
+        assert is_feasible([LinCon.ge(x, 0), LinCon.le(x, 10)])
+        assert not is_feasible([LinCon.ge(x, 1), LinCon.le(x, 0)])
+
+    def test_equality_chain(self):
+        assert not is_feasible([
+            LinCon.ge(x, 0), LinCon.lt(x, N),
+            LinCon.eq(x, y + 1), LinCon.ge(y, N - 1)
+        ])
+
+    def test_parity(self):
+        assert not is_feasible([LinCon.eq(x * 2, y * 2 + 1)])
+        assert is_feasible([LinCon.eq(x * 2, y * 3 + 1)])
+
+    def test_diophantine_gcd(self):
+        assert is_feasible([LinCon.eq(x * 3 + y * 5, Affine.constant(1))])
+        assert not is_feasible([LinCon.eq(x * 6 + y * 10,
+                                          Affine.constant(1))])
+
+    def test_integer_gap(self):
+        # 2 <= 4x <= 3 has no integer x
+        assert not is_feasible([LinCon.ge(x * 4, 2), LinCon.le(x * 4, 3)])
+        # 0 <= 2x <= 1 has x = 0
+        assert is_feasible([LinCon.ge(x * 2, 0), LinCon.le(x * 2, 1)])
+
+    def test_symbolic_parameters(self):
+        assert is_feasible([LinCon.ge(x, N), LinCon.le(x, N)])
+        assert not is_feasible([LinCon.le(x, N), LinCon.ge(x, N + 1)])
+
+    def test_three_vars(self):
+        # x + y + z = 10, 0<=x,y,z<=3 -> max sum 9 < 10
+        cons = [LinCon.eq(x + y + z, Affine.constant(10))]
+        for v in (x, y, z):
+            cons += [LinCon.ge(v, 0), LinCon.le(v, 3)]
+        assert not is_feasible(cons)
+        cons[0] = LinCon.eq(x + y + z, Affine.constant(9))
+        assert is_feasible(cons)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-8, 8), st.integers(-8, 8), st.integers(1, 5),
+           st.integers(1, 5))
+    def test_matches_bruteforce_2d(self, lo1, lo2, w1, w2):
+        """Feasibility of a random 2-D system agrees with brute force."""
+        cons = [
+            LinCon.ge(x, lo1), LinCon.le(x, lo1 + w1),
+            LinCon.ge(y, lo2), LinCon.le(y, lo2 + w2),
+            LinCon.ge(x * 2 + y * 3, 0),
+            LinCon.le(x + y, lo1 + lo2 + w1),
+        ]
+        brute = any(
+            2 * a + 3 * b >= 0 and a + b <= lo1 + lo2 + w1
+            for a in range(lo1, lo1 + w1 + 1)
+            for b in range(lo2, lo2 + w2 + 1))
+        assert is_feasible(cons) == brute
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 7), st.integers(2, 7), st.integers(-20, 20))
+    def test_diophantine_matches_gcd(self, a, b, c):
+        import math
+
+        cons = [LinCon.eq(x * a + y * b, Affine.constant(c))]
+        assert is_feasible(cons) == (c % math.gcd(a, b) == 0)
+
+
+class TestSetsMaps:
+
+    def test_empty_set(self):
+        s = BasicSet(["i"], [LinCon.ge(x.rename({"x": "i"}), 0),
+                             LinCon.le(Affine.var("i"), -1)])
+        assert s.is_empty()
+
+    def test_intersect(self):
+        a = BasicSet(["i"], [LinCon.ge(Affine.var("i"), 0)])
+        b = BasicSet(["i"], [LinCon.le(Affine.var("i"), -1)])
+        assert not a.is_empty()
+        assert a.intersect(b).is_empty()
+
+    def test_map_compose(self):
+        # f(i) = i + 1 on 0<=i<10 ; g(j) = 2*j ; g∘f (i) = 2i + 2
+        f = BasicMap.from_affine(["i"], [Affine.var("i") + 1],
+                                 [LinCon.ge(Affine.var("i"), 0),
+                                  LinCon.lt(Affine.var("i"), 10)],
+                                 out_prefix="f")
+        g = BasicMap.from_affine(["j"], [Affine.var("j") * 2],
+                                 out_prefix="g")
+        gf = g.compose(f)
+        # check: exists i with out = 2i+2 = 5? no (odd)
+        odd = gf.with_constraints([LinCon.eq(Affine.var("g0"),
+                                             Affine.constant(5))])
+        assert odd.is_empty()
+        ok = gf.with_constraints([LinCon.eq(Affine.var("g0"),
+                                            Affine.constant(6))])
+        assert not ok.is_empty()
+
+    def test_map_reverse_domain_range(self):
+        f = BasicMap.from_affine(["i"], [Affine.var("i") + 1],
+                                 [LinCon.ge(Affine.var("i"), 3)],
+                                 out_prefix="o")
+        dom = f.domain().with_constraints(
+            [LinCon.le(Affine.var("i"), 2)])
+        assert dom.is_empty()
+        rng = f.range().with_constraints(
+            [LinCon.le(Affine.var("o0"), 3)])
+        assert rng.is_empty()  # outputs are >= 4
+
+    def test_lex_gt(self):
+        alts = lex_gt_constraints(["a0", "a1"], ["b0", "b1"])
+        assert len(alts) == 2
+        # (1, 0) >lex (0, 5): satisfied by first alternative
+        bind = [LinCon.eq(Affine.var("a0"), Affine.constant(1)),
+                LinCon.eq(Affine.var("a1"), Affine.constant(0)),
+                LinCon.eq(Affine.var("b0"), Affine.constant(0)),
+                LinCon.eq(Affine.var("b1"), Affine.constant(5))]
+        assert any(is_feasible(bind + alt) for alt in alts)
+        # (0, 0) >lex (0, 0): none
+        bind_eq = [LinCon.eq(Affine.var(v), Affine.constant(0))
+                   for v in ("a0", "a1", "b0", "b1")]
+        assert not any(is_feasible(bind_eq + alt) for alt in alts)
+
+    def test_eq_constraints(self):
+        cons = eq_constraints(["a"], ["b"])
+        assert not is_feasible(cons + [
+            LinCon.eq(Affine.var("a"), Affine.constant(0)),
+            LinCon.eq(Affine.var("b"), Affine.constant(1))
+        ])
+
+
+class TestAffineBuilder:
+
+    def test_mod_linearised_exactly(self):
+        i = Var("i")
+        res = try_affine((i + 1) % 3)
+        assert res is not None
+        a, cons, exists = res
+        assert len(exists) == 1
+        # (i+1) % 3 == 0 and i == 1 must be infeasible (1+1=2 mod 3)
+        sys = cons + [LinCon.eq0(a),
+                      LinCon.eq(Affine.var("i"), Affine.constant(1))]
+        assert not is_feasible(sys)
+        # i == 2 -> (i+1)%3 == 0 feasible
+        sys = cons + [LinCon.eq0(a),
+                      LinCon.eq(Affine.var("i"), Affine.constant(2))]
+        assert is_feasible(sys)
+
+    def test_floordiv(self):
+        i = Var("i")
+        res = try_affine(i // 4)
+        a, cons, _ = res
+        sys = cons + [LinCon.eq(Affine.var("i"), Affine.constant(7)),
+                      LinCon.eq(a, Affine.constant(1))]
+        assert is_feasible(sys)
+        sys = cons + [LinCon.eq(Affine.var("i"), Affine.constant(7)),
+                      LinCon.eq(a, Affine.constant(2))]
+        assert not is_feasible(sys)
+
+    def test_non_affine_reported(self):
+        i, j = Var("i"), Var("j")
+        assert try_affine(i * j) is None
+        load = Load("a", [i], DataType.INT32)
+        assert try_affine(load + 1) is None
+
+    def test_condition_disjunction(self):
+        i = Var("i")
+        b = AffineBuilder()
+        alts = b.build_condition((i < 3).logical_or(i > 7))
+        assert len(alts) == 2
+
+    def test_condition_negation(self):
+        i = Var("i")
+        b = AffineBuilder()
+        alts = b.build_condition(i < 3, negate=True)
+        assert len(alts) == 1
+        # i >= 3: i = 2 infeasible
+        assert not is_feasible(alts[0] + [
+            LinCon.eq(Affine.var("i"), Affine.constant(2))
+        ])

@@ -1,0 +1,229 @@
+"""Tests for the metrics collector, the static footprint analysis, the
+device models and the simulated GPU."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.errors import SimulatedOOM
+from repro.passes import lower
+from repro.runtime import build
+from repro.runtime.metrics import (LINE, SECTOR, DeviceModel,
+                                   MetricsCollector, V100, XEON,
+                                   static_peak_bytes)
+from repro.schedule import Schedule
+
+
+class TestCacheModel:
+
+    def test_sector_counting(self):
+        m = MetricsCollector()
+        buf = np.zeros(100, np.float32)
+        m.on_read("a", buf, (0,))
+        m.on_read("a", buf, (1,))  # same 32B sector: coalesced
+        assert m.l2_bytes == SECTOR
+        m.on_read("a", buf, (20,))  # a different sector
+        assert m.l2_bytes == 2 * SECTOR
+
+    def test_dram_line_miss_and_hit(self):
+        m = MetricsCollector()
+        buf = np.zeros(1000, np.float32)
+        m.on_read("a", buf, (0,))
+        assert m.dram_bytes == LINE
+        m.on_read("a", buf, (100,))  # another line
+        assert m.dram_bytes == 2 * LINE
+        m.on_read("a", buf, (8,))  # line 0 again: L2 hit
+        assert m.dram_bytes == 2 * LINE
+
+    def test_lru_eviction(self):
+        m = MetricsCollector(l2_capacity=2 * LINE)  # 2-line cache
+        buf = np.zeros(10000, np.float64)
+        for block in (0, 100, 200, 0):  # 0 evicted before re-access
+            m.on_read("a", buf, (block,))
+        assert m.dram_bytes == 4 * LINE
+
+    def test_local_memory_free(self):
+        from repro.ir import MemType
+
+        m = MetricsCollector()
+        buf = np.zeros(64, np.float32)
+        m.on_alloc("t", buf, MemType.GPU_LOCAL)
+        m.on_read("t", buf, (0,))
+        assert m.l2_bytes == 0
+        assert m.peak_bytes == 0  # registers don't count
+
+    def test_footprint_tracking(self):
+        from repro.ir import MemType
+
+        m = MetricsCollector()
+        a = np.zeros(1000, np.float32)
+        b = np.zeros(500, np.float32)
+        m.on_alloc("a", a, MemType.GPU_GLOBAL)
+        m.on_alloc("b", b, MemType.GPU_GLOBAL)
+        m.on_free("a", a, MemType.GPU_GLOBAL)
+        assert m.peak_bytes == a.nbytes + b.nbytes
+        assert m.current_bytes == b.nbytes
+
+    def test_capacity_enforcement(self):
+        from repro.ir import MemType
+
+        m = MetricsCollector(capacity_bytes=1000)
+        with pytest.raises(SimulatedOOM):
+            m.on_alloc("big", np.zeros(1000, np.float32),
+                       MemType.GPU_GLOBAL)
+
+
+class TestStaticPeak:
+
+    def test_stack_scoped_reuse(self):
+        """Per-iteration scratch counts once, not per iteration."""
+        @ft.transform
+        def f(a: ft.Tensor[("n", 8), "f32", "input"]):
+            y = ft.zeros(("n",), "f32")
+            for i in range(a.shape(0)):
+                t = ft.empty((8,), "f32")  # fresh per iteration
+                for k in range(8):
+                    t[k] = a[i, k]
+                for k in range(8):
+                    y[i] += t[k]
+            return y
+
+        peak = static_peak_bytes(lower(f.func), {"n": 1000})
+        assert peak == 8 * 4  # one t instance; y is an interface tensor
+
+    def test_sibling_scopes_max(self):
+        @ft.transform
+        def f(a: ft.Tensor[(16,), "f32", "input"],
+              y: ft.Tensor[(16,), "f32", "output"]):
+            t1 = ft.zeros((16,), "f32")
+            for i in range(16):
+                t1[i] = a[i] * 2.0
+            for i in range(16):
+                y[i] = t1[i]
+
+        # a single live cache tensor at any point
+        peak = static_peak_bytes(lower(f.func), {})
+        assert peak == 16 * 4
+
+    def test_symbolic_extent_via_params(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "input"], w: ft.Size):
+            y = ft.zeros(("n",), "f32")
+            for i in range(a.shape(0)):
+                t = ft.empty((2 * w + 1,), "f32")
+                for k in range(2 * w + 1):
+                    t[k] = a[i]
+                y[i] = t[0]
+            return y
+
+        peak = static_peak_bytes(lower(f.func), {"n": 100, "w": 8})
+        assert peak == (2 * 8 + 1) * 4
+
+    def test_param_bytes_added(self):
+        @ft.transform
+        def f(y: ft.Tensor[(4,), "f32", "output"]):
+            for i in range(4):
+                y[i] = 0.0
+
+        assert static_peak_bytes(lower(f.func), {},
+                                 param_bytes=1234) == 1234
+
+
+class TestDeviceModels:
+
+    def test_time_formula(self):
+        m = MetricsCollector()
+        m.kernels = 10
+        m.dram_bytes = 9_000_000_000  # 9 GB at 900 GB/s -> 10 ms
+        m.flops = 1
+        t = V100.time(m)
+        assert abs(t - (10 * 5e-6 + 0.01)) < 1e-9
+
+    def test_compute_bound(self):
+        m = MetricsCollector()
+        m.kernels = 1
+        m.flops = 14_000_000_000_000  # exactly 1 s of V100 FLOPs
+        assert abs(V100.time(m) - (5e-6 + 1.0)) < 1e-6
+
+    def test_capacity_check(self):
+        with pytest.raises(SimulatedOOM):
+            V100.check_capacity(33 * 2**30)
+        V100.check_capacity(31 * 2**30)  # fits
+
+    def test_cpu_vs_gpu_models_differ(self):
+        assert XEON.dram_bw < V100.dram_bw
+        assert XEON.launch_overhead_s < V100.launch_overhead_s
+
+
+class TestGPUSimulator:
+
+    def _prog(self):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"]):
+            y = ft.empty(("n",), "f32")
+            ft.label("L")
+            for i in range(x.shape(0)):
+                y[i] = x[i] + 1.0
+            return y
+
+        return f
+
+    def test_kernel_per_parallel_root(self):
+        f = self._prog()
+        s = Schedule(f)
+        o, i = s.split("L", factor=32)
+        s.parallelize(o, "cuda.blockIdx.x")
+        s.parallelize(i, "cuda.threadIdx.x")
+        m = MetricsCollector()
+        exe = build(s.func, backend="gpusim", metrics=m)
+        x = np.arange(100, dtype=np.float32)
+        np.testing.assert_allclose(exe(x), x + 1)
+        assert m.kernels == 1
+
+    def test_sequential_fallback_counts_per_launch(self):
+        """An unparallelised statement at host level is its own launch."""
+        f = self._prog()
+        m = MetricsCollector()
+        exe = build(f, backend="gpusim", metrics=m)
+        x = np.arange(10, dtype=np.float32)
+        exe(x)
+        assert m.kernels >= 1
+
+    def test_capacity_oom(self):
+        @ft.transform
+        def f(x: ft.Tensor[("n",), "f32", "input"]):
+            big = ft.zeros(("n", "n"), "f32")
+            y = ft.zeros(("n",), "f32")
+            for i in range(x.shape(0)):
+                big[i, i] = x[i]
+                y[i] = big[i, i]
+            return y
+
+        from repro.runtime.metrics import DeviceModel
+
+        tiny = DeviceModel("tiny", 5e-6, 900e9, 2500e9, 14e12,
+                           capacity_bytes=1024)
+        exe = build(f, backend="gpusim", device=tiny)
+        with pytest.raises(SimulatedOOM):
+            exe(np.zeros(100, np.float32))
+
+    def test_libcall_is_one_kernel(self, rng):
+        @ft.transform
+        def mm(a: ft.Tensor[(8, 8), "f32", "input"],
+               b: ft.Tensor[(8, 8), "f32", "input"]):
+            c = ft.zeros((8, 8), "f32")
+            ft.label("L")
+            for i in range(8):
+                for j in range(8):
+                    for k in range(8):
+                        c[i, j] += a[i, k] * b[k, j]
+            return c
+
+        s = Schedule(mm)
+        s.as_lib("L")
+        m = MetricsCollector()
+        exe = build(s.func, backend="gpusim", metrics=m)
+        A = rng.standard_normal((8, 8)).astype(np.float32)
+        B = rng.standard_normal((8, 8)).astype(np.float32)
+        np.testing.assert_allclose(exe(A, B), A @ B, rtol=1e-4)
+        assert any(n.startswith("lib.") for n in m.kernel_names)

@@ -1,0 +1,371 @@
+"""Tests for loop schedules: split/merge/reorder/fission/fuse/swap.
+
+Each transformation is checked twice: the structural/legality behaviour,
+and end-to-end numerical equivalence after the transformation.
+"""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.errors import DependenceViolation, InvalidSchedule
+from repro.ir import For, If, StmtSeq, collect_stmts
+from repro.runtime import build
+from repro.schedule import Schedule
+
+
+def make_elementwise():
+    @ft.transform
+    def f(b: ft.Tensor[("n", "m"), "f32", "input"],
+          a: ft.Tensor[("n", "m"), "f32", "output"]):
+        ft.label("Li")
+        for i in range(b.shape(0)):
+            ft.label("Lj")
+            for j in range(b.shape(1)):
+                a[i, j] = b[i, j] * 2.0 + 1.0
+
+    return f
+
+
+def run_equiv(sched, program, *arrays, **scalars):
+    ref = build(program)(*arrays, **scalars)
+    out = build(sched.func)(*arrays, **scalars)
+    np.testing.assert_allclose(out, ref, rtol=1e-5)
+    return out
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal((6, 10)).astype(np.float32)
+
+
+class TestSplit:
+
+    def test_split_factor(self, x):
+        p = make_elementwise()
+        s = Schedule(p)
+        outer, inner = s.split("Li", factor=4)
+        loops = {l.sid: l for l in s.loops()}
+        assert loops[inner].len.val == 4
+        run_equiv(s, p, x)
+
+    def test_split_nparts(self, x):
+        p = make_elementwise()
+        s = Schedule(p)
+        outer, inner = s.split("Lj", nparts=3)
+        run_equiv(s, p, x)
+
+    def test_split_uneven_guard(self, x):
+        p = make_elementwise()
+        s = Schedule(p)
+        s.split("Li", factor=4)  # 6 % 4 != 0 -> guard needed
+        guards = collect_stmts(s.func.body, lambda s_: isinstance(s_, If))
+        assert guards
+        run_equiv(s, p, x)
+
+    def test_split_even_no_guard(self, x):
+        @ft.transform
+        def p(b: ft.Tensor[(6, 10), "f32", "input"],
+              a: ft.Tensor[(6, 10), "f32", "output"]):
+            ft.label("Li")
+            for i in range(6):
+                ft.label("Lj")
+                for j in range(10):
+                    a[i, j] = b[i, j] * 2.0 + 1.0
+
+        s = Schedule(p)
+        s.split("Lj", factor=5)  # 10 % 5 == 0: no guard needed
+        guards = collect_stmts(s.func.body, lambda s_: isinstance(s_, If))
+        assert not guards
+        run_equiv(s, p, x)
+
+    def test_needs_exactly_one_arg(self):
+        s = Schedule(make_elementwise())
+        with pytest.raises(InvalidSchedule):
+            s.split("Li")
+        with pytest.raises(InvalidSchedule):
+            s.split("Li", factor=2, nparts=2)
+
+
+class TestMerge:
+
+    def test_merge(self, x):
+        p = make_elementwise()
+        s = Schedule(p)
+        merged = s.merge("Li", "Lj")
+        loops = s.loops()
+        assert len(loops) == 1
+        run_equiv(s, p, x)
+
+    def test_merge_non_nested_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "output"]):
+            ft.label("L1")
+            for i in range(4):
+                a[i] = 1.0
+            ft.label("L2")
+            for j in range(4):
+                a[j] = 2.0
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).merge("L1", "L2")
+
+    def test_merge_non_rectangular_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[(8, 8), "f32", "output"]):
+            ft.label("Li")
+            for i in range(8):
+                ft.label("Lj")
+                for j in range(i, 8):
+                    a[i, j] = 1.0
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).merge("Li", "Lj")
+
+
+class TestReorder:
+
+    def test_legal(self, x):
+        p = make_elementwise()
+        s = Schedule(p)
+        s.reorder(["Lj", "Li"])
+        assert [l.iter_var for l in s.loops()] == ["j", "i"]
+        run_equiv(s, p, x)
+
+    def test_illegal_scalar_recurrence(self):
+        @ft.transform
+        def f(b: ft.Tensor[("n", "m"), "f32", "input"],
+              a: ft.Tensor[(), "f32", "inout"]):
+            ft.label("Li")
+            for i in range(b.shape(0)):
+                ft.label("Lj")
+                for j in range(b.shape(1)):
+                    a[...] = a * b[i, j] + 1.0
+
+        with pytest.raises(DependenceViolation):
+            Schedule(f).reorder(["Lj", "Li"])
+
+    def test_legal_reduction(self, x):
+        @ft.transform
+        def f(b: ft.Tensor[("n", "m"), "f32", "input"],
+              a: ft.Tensor[(), "f32", "inout"]):
+            ft.label("Li")
+            for i in range(b.shape(0)):
+                ft.label("Lj")
+                for j in range(b.shape(1)):
+                    a[...] += b[i, j]
+
+        s = Schedule(f)
+        s.reorder(["Lj", "Li"])  # additive commutativity (fig. 12c)
+
+    def test_illegal_stencil(self):
+        @ft.transform
+        def f(x_: ft.Tensor[("n", "m"), "f32", "inout"]):
+            ft.label("Li")
+            for i in range(1, x_.shape(0) - 1):
+                ft.label("Lj")
+                for j in range(1, x_.shape(1) - 1):
+                    x_[i + 1, j] = x_[i - 1, j + 1] * 2.0
+
+        # dep (i: >, j: <) flips sign when loops are exchanged
+        with pytest.raises(DependenceViolation):
+            Schedule(f).reorder(["Lj", "Li"])
+
+    def test_scoped_temp_reorder_allowed(self):
+        """Paper fig. 12(d): stack-scoping kills the false dependence."""
+        @ft.transform
+        def f(a: ft.Tensor[("n", "m", "k"), "f32", "input"],
+              b: ft.Tensor[("n", "m", "k"), "f32", "output"]):
+            ft.label("Li")
+            for i in range(a.shape(0)):
+                ft.label("Lj")
+                for j in range(a.shape(1)):
+                    t = ft.empty((a.shape(2),), "f32")
+                    for k in range(a.shape(2)):
+                        t[k] = a[i, j, k]
+                        b[i, j, k] = t[k]
+
+        s = Schedule(f)
+        s.reorder(["Lj", "Li"])  # must not raise
+
+
+class TestFission:
+
+    def test_basic(self, x):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"],
+              c: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(b.shape(0)):
+                ft.label("S1")
+                a[i] = b[i] + 1.0
+                c[i] = b[i] * 2.0
+
+        s = Schedule(f)
+        front, back = s.fission("L", after="S1")
+        assert len(s.loops()) == 2
+        arr = np.arange(5, dtype=np.float32)
+        ref_a, ref_c = build(f)(arr)[0], build(f)(arr)[1]
+        out_a, out_c = build(s.func)(arr)
+        np.testing.assert_allclose(out_a, ref_a)
+        np.testing.assert_allclose(out_c, ref_c)
+
+    def test_backward_dep_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "inout"],
+              b: ft.Tensor[("n",), "f32", "input"],
+              c: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(a.shape(0) - 1):
+                ft.label("S1")
+                c[i] = a[i]  # at i+1 this reads the value S2 wrote at i
+                ft.label("S2")
+                a[i + 1] = b[i]
+
+        # S2@i writes a[i+1]; S1@(i+1) reads it. All S1 running before all
+        # S2 after fission would read stale values.
+        with pytest.raises(DependenceViolation):
+            Schedule(f).fission("L", after="S1")
+
+    def test_live_temp_rejected(self):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(b.shape(0)):
+                t = 0.0
+                ft.label("S1")
+                t += b[i]
+                a[i] = t * 2.0
+
+        with pytest.raises(DependenceViolation):
+            Schedule(f).fission("L", after="S1")
+
+
+class TestFuse:
+
+    def _two_loops(self):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"],
+              c: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L1")
+            for i in range(b.shape(0)):
+                a[i] = b[i] + 1.0
+            ft.label("L2")
+            for j in range(b.shape(0)):
+                c[j] = a[j] * 2.0
+
+        return f
+
+    def test_basic(self):
+        f = self._two_loops()
+        s = Schedule(f)
+        fused = s.fuse("L1", "L2")
+        assert len(s.loops()) == 1
+        arr = np.arange(5, dtype=np.float32)
+        out_a, out_c = build(s.func)(arr)
+        np.testing.assert_allclose(out_a, arr + 1)
+        np.testing.assert_allclose(out_c, (arr + 1) * 2)
+
+    def test_paper_dot_max_example(self):
+        """Fig. 8 -> Fig. 10: fusing the dot loop with the max loop is
+        legal; fusing the max loop with the normalisation loop is not."""
+        @ft.transform
+        def f(q: ft.Tensor[("n",), "f32", "input"],
+              y: ft.Tensor[("n",), "f32", "output"]):
+            dot = ft.empty(("n",), "f32")
+            ft.label("L1")
+            for p in range(q.shape(0)):
+                dot[p] = q[p] * q[p]
+            m = -float("inf")
+            ft.label("L2")
+            for p in range(q.shape(0)):
+                m = ft.max(m, dot[p])
+            ft.label("L3")
+            for p in range(q.shape(0)):
+                y[p] = dot[p] - m
+
+        s = Schedule(f)
+        fused = s.fuse("L1", "L2")
+        with pytest.raises(DependenceViolation):
+            s.fuse(fused, "L3")
+        arr = np.array([1.0, 3.0, 2.0], np.float32)
+        out = build(s.func)(arr)
+        np.testing.assert_allclose(out, arr**2 - 9.0)
+
+    def test_backward_dep_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "inout"]):
+            ft.label("L1")
+            for i in range(a.shape(0)):
+                a[i] = a[i] + 1.0
+            ft.label("L2")
+            for j in range(a.shape(0) - 1):
+                a[j] = a[j + 1]  # reads a value L1 writes at a later i
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).fuse("L1", "L2")
+
+    def test_length_mismatch_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[(6,), "f32", "output"],
+              b: ft.Tensor[(4,), "f32", "output"]):
+            ft.label("L1")
+            for i in range(6):
+                a[i] = 1.0
+            ft.label("L2")
+            for j in range(4):
+                b[j] = 2.0
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).fuse("L1", "L2")
+
+    def test_symbolic_equal_lengths(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "output"],
+              b: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L1")
+            for i in range(a.shape(0)):
+                a[i] = 1.0
+            ft.label("L2")
+            for j in range(b.shape(0)):
+                b[j] = 2.0
+
+        s = Schedule(f)
+        s.fuse("L1", "L2")  # n == n proved by the engine
+
+
+class TestSwap:
+
+    def test_legal(self):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"],
+              c: ft.Tensor[("n",), "f32", "output"]):
+            for i in range(b.shape(0)):
+                ft.label("S1")
+                a[i] = b[i] + 1.0
+                ft.label("S2")
+                c[i] = b[i] * 2.0
+
+        s = Schedule(f)
+        s.swap(["S2", "S1"])
+        arr = np.arange(4, dtype=np.float32)
+        out_a, out_c = build(s.func)(arr)
+        np.testing.assert_allclose(out_a, arr + 1)
+
+    def test_flow_dep_rejected(self):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              c: ft.Tensor[("n",), "f32", "output"]):
+            t = ft.empty(("n",), "f32")
+            for i in range(b.shape(0)):
+                ft.label("S1")
+                t[i] = b[i] + 1.0
+                ft.label("S2")
+                c[i] = t[i] * 2.0
+
+        with pytest.raises(DependenceViolation):
+            Schedule(f).swap(["S2", "S1"])

@@ -1,0 +1,390 @@
+"""Tests for parallelizing, memory-hierarchy, layout and misc schedules."""
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.errors import DependenceViolation, InvalidSchedule
+from repro.ir import (For, If, LibCall, ReduceTo, Store, VarDef,
+                      collect_stmts, defined_tensors, dump)
+from repro.runtime import build
+from repro.schedule import Schedule
+
+
+def run_equiv(sched, program, *arrays, **scalars):
+    ref = build(program)(*arrays, **scalars)
+    out = build(sched.func)(*arrays, **scalars)
+    if isinstance(ref, tuple):
+        for r, o in zip(ref, out):
+            np.testing.assert_allclose(o, r, rtol=1e-5)
+    else:
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+
+class TestParallelize:
+
+    def test_independent_loop(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(b.shape(0)):
+                a[i] = b[i] + 1.0
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        loop = s.find("L")
+        assert loop.property.parallel == "openmp"
+        run_equiv(s, f, rng.standard_normal(8).astype(np.float32))
+
+    def test_serial_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "inout"]):
+            ft.label("L")
+            for i in range(1, a.shape(0)):
+                a[i] = a[i - 1] + 1.0
+
+        with pytest.raises(DependenceViolation):
+            Schedule(f).parallelize("L", "openmp")
+
+    def test_reduction_allowed(self, rng):
+        """Fig. 13(d): same-index reduction parallelises."""
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[(), "f32", "inout"]):
+            ft.label("L")
+            for i in range(b.shape(0)):
+                a[...] += b[i]
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        reduces = collect_stmts(s.func.body,
+                                lambda x: isinstance(x, ReduceTo))
+        assert reduces and reduces[0].atomic  # lowered with atomics
+
+    def test_scatter_reduction_atomic(self, rng):
+        """Fig. 13(e): random-index reduction parallelises atomically."""
+        @ft.transform
+        def f(idx: ft.Tensor[("n",), "i32", "input"],
+              b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("m",), "f32", "inout"]):
+            ft.label("L")
+            for i in range(idx.shape(0)):
+                a[idx[i]] += b[i]
+
+        s = Schedule(f)
+        s.parallelize("L", "openmp")
+        reduces = collect_stmts(s.func.body,
+                                lambda x: isinstance(x, ReduceTo))
+        assert reduces[0].atomic
+
+    def test_unknown_kind(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "output"]):
+            ft.label("L")
+            for i in range(4):
+                a[i] = 0.0
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).parallelize("L", "posix")
+
+    def test_cuda_kinds(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4, 5), "f32", "output"]):
+            ft.label("Lb")
+            for i in range(4):
+                ft.label("Lt")
+                for j in range(5):
+                    a[i, j] = 1.0
+
+        s = Schedule(f)
+        s.parallelize("Lb", "cuda.blockIdx.x")
+        s.parallelize("Lt", "cuda.threadIdx.x")
+        assert s.find("Lt").property.parallel == "cuda.threadIdx.x"
+
+
+class TestUnrollBlendVectorize:
+
+    def test_unroll(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[(3, 8), "f32", "input"],
+              a: ft.Tensor[(3, 8), "f32", "output"]):
+            ft.label("Li")
+            for i in range(3):
+                for j in range(8):
+                    a[i, j] = b[i, j] + 1.0
+
+        s = Schedule(f)
+        s.unroll("Li")
+        assert len(s.loops()) == 3  # three copies of the j loop
+        run_equiv(s, f, rng.standard_normal((3, 8)).astype(np.float32))
+
+    def test_unroll_dynamic_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(a.shape(0)):
+                a[i] = 0.0
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).unroll("L")
+
+    def test_vectorize_marks(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"]):
+            ft.label("L")
+            for i in range(b.shape(0)):
+                a[i] = b[i] * 3.0
+
+        s = Schedule(f)
+        s.vectorize("L")
+        assert s.find("L").property.vectorize
+        run_equiv(s, f, rng.standard_normal(16).astype(np.float32))
+
+    def test_vectorize_serial_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[("n",), "f32", "inout"]):
+            ft.label("L")
+            for i in range(1, a.shape(0)):
+                a[i] = a[i - 1] * 2.0
+
+        with pytest.raises(DependenceViolation):
+            Schedule(f).vectorize("L")
+
+    def test_blend(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[(4,), "f32", "input"],
+              a: ft.Tensor[(4,), "f32", "output"],
+              c: ft.Tensor[(4,), "f32", "output"]):
+            ft.label("L")
+            for i in range(4):
+                a[i] = b[i] + 1.0
+                c[i] = b[i] - 1.0
+
+        s = Schedule(f)
+        s.blend("L")
+        assert not s.loops()
+        stores = collect_stmts(s.func.body, lambda x: isinstance(x, Store))
+        assert len(stores) == 8
+        # statement-major: all `a` stores precede all `c` stores
+        assert [st.var for st in stores] == ["a"] * 4 + ["c"] * 4
+        run_equiv(s, f, rng.standard_normal(4).astype(np.float32))
+
+
+class TestCache:
+
+    def test_cache_paper_fig14(self, rng):
+        """cache a[i+j] over the j loop -> an m-sized buffer (Fig. 14)."""
+        @ft.transform
+        def f(a: ft.Tensor[("nm",), "f32", "inout"], n: ft.Size,
+              m: ft.Size):
+            for i in range(n):
+                ft.label("Lj")
+                for j in range(m):
+                    a[i + j] = a[i + j] * 2.0
+
+        s = Schedule(f)
+        fill, flush, name = s.cache("Lj", "a", "cpu")
+        vd = defined_tensors(s.func.body)[name]
+        assert dump(vd.shape[0]) in ("m", "m - 1 + 1")
+        arr = rng.standard_normal(10).astype(np.float32)
+        ref = build(f)(arr.copy(), n=4, m=7)
+        out = build(s.func)(arr.copy(), n=4, m=7)
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_cache_read_only(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[(8,), "f32", "input"],
+              a: ft.Tensor[(8,), "f32", "output"]):
+            ft.label("L")
+            for i in range(8):
+                a[i] = b[i] + 1.0
+
+        s = Schedule(f)
+        fill, flush, name = s.cache("L", "b", "cpu")
+        assert flush is None  # read-only: no write-back
+        run_equiv(s, f, rng.standard_normal(8).astype(np.float32))
+
+    def test_cache_reduction(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[(6, 8), "f32", "input"],
+              a: ft.Tensor[(8,), "f32", "inout"]):
+            for i in range(6):
+                ft.label("L")
+                for j in range(8):
+                    a[j] += b[i, j]
+
+        s = Schedule(f)
+        init, flush, name = s.cache_reduction("L", "a", "cpu")
+        reduces = collect_stmts(s.func.body,
+                                lambda x: isinstance(x, ReduceTo))
+        assert any(r.var == name for r in reduces)
+        arr = np.zeros(8, np.float32)
+        b = rng.standard_normal((6, 8)).astype(np.float32)
+        out = build(s.func)(b, arr)
+        np.testing.assert_allclose(out, b.sum(axis=0), rtol=1e-5)
+
+    def test_cache_reduction_requires_uniform_op(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "inout"]):
+            ft.label("L")
+            for i in range(4):
+                a[i] = a[i] * 2.0 + 1.0  # not a pure reduction
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).cache_reduction("L", "a", "cpu")
+
+    def test_set_mtype(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "output"]):
+            t = ft.zeros(4, "f32")
+            for i in range(4):
+                a[i] = t[i]
+
+        s = Schedule(f)
+        s.set_mtype("t", "gpu/shared")
+        from repro.ir import MemType
+        assert defined_tensors(s.func.body)["t"].mtype \
+            is MemType.GPU_SHARED
+
+
+class TestLayout:
+
+    def _prog(self):
+        @ft.transform
+        def f(b: ft.Tensor[(6, 4), "f32", "input"],
+              a: ft.Tensor[(6, 4), "f32", "output"]):
+            t = ft.empty((6, 4), "f32")
+            for i in range(6):
+                for j in range(4):
+                    t[i, j] = b[i, j] * 2.0
+            for i in range(6):
+                for j in range(4):
+                    a[i, j] = t[i, j] + 1.0
+
+        return f
+
+    def test_var_reorder(self, rng):
+        f = self._prog()
+        s = Schedule(f)
+        s.var_reorder("t", [1, 0])
+        vd = defined_tensors(s.func.body)["t"]
+        assert [d.val for d in vd.shape] == [4, 6]
+        run_equiv(s, f, rng.standard_normal((6, 4)).astype(np.float32))
+
+    def test_var_split(self, rng):
+        f = self._prog()
+        s = Schedule(f)
+        s.var_split("t", dim=0, factor=2)
+        vd = defined_tensors(s.func.body)["t"]
+        assert [d.val for d in vd.shape] == [3, 2, 4]
+        run_equiv(s, f, rng.standard_normal((6, 4)).astype(np.float32))
+
+    def test_var_merge(self, rng):
+        f = self._prog()
+        s = Schedule(f)
+        s.var_merge("t", dim=0)
+        vd = defined_tensors(s.func.body)["t"]
+        assert [d.val for d in vd.shape] == [24]
+        run_equiv(s, f, rng.standard_normal((6, 4)).astype(np.float32))
+
+    def test_interface_layout_rejected(self):
+        f = self._prog()
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).var_reorder("a", [1, 0])
+
+
+class TestAsLib:
+
+    def test_matmul_pattern(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[(5, 7), "f32", "input"],
+              b: ft.Tensor[(7, 3), "f32", "input"]):
+            c = ft.zeros((5, 3), "f32")
+            ft.label("Li")
+            for i in range(5):
+                for j in range(3):
+                    for k in range(7):
+                        c[i, j] += a[i, k] * b[k, j]
+            return c
+
+        s = Schedule(f)
+        sid = s.as_lib("Li")
+        calls = collect_stmts(s.func.body,
+                              lambda x: isinstance(x, LibCall))
+        assert len(calls) == 1 and calls[0].kind == "matmul"
+        A = rng.standard_normal((5, 7)).astype(np.float32)
+        B = rng.standard_normal((7, 3)).astype(np.float32)
+        out = build(s.func)(A, B)
+        np.testing.assert_allclose(out, A @ B, rtol=1e-4)
+
+    def test_reversed_operands(self, rng):
+        @ft.transform
+        def f(a: ft.Tensor[(4, 6), "f32", "input"],
+              b: ft.Tensor[(6, 2), "f32", "input"]):
+            c = ft.zeros((4, 2), "f32")
+            ft.label("Li")
+            for i in range(4):
+                for j in range(2):
+                    for k in range(6):
+                        c[i, j] += b[k, j] * a[i, k]
+            return c
+
+        s = Schedule(f)
+        s.as_lib("Li")
+        A = rng.standard_normal((4, 6)).astype(np.float32)
+        B = rng.standard_normal((6, 2)).astype(np.float32)
+        np.testing.assert_allclose(build(s.func)(A, B), A @ B, rtol=1e-4)
+
+    def test_non_matmul_rejected(self):
+        @ft.transform
+        def f(a: ft.Tensor[(4,), "f32", "inout"]):
+            ft.label("L")
+            for i in range(1, 4):
+                a[i] = a[i - 1] * 2.0
+
+        with pytest.raises(InvalidSchedule):
+            Schedule(f).as_lib("L")
+
+
+class TestSeparateTail:
+
+    def test_split_guard(self, rng):
+        """A split-introduced guard disappears after separate_tail."""
+        @ft.transform
+        def f(b: ft.Tensor[(10,), "f32", "input"],
+              a: ft.Tensor[(10,), "f32", "output"]):
+            ft.label("L")
+            for i in range(10):
+                a[i] = b[i] + 1.0
+
+        s = Schedule(f)
+        outer, inner = s.split("L", factor=4)  # 10 % 4 != 0 -> guard
+        assert collect_stmts(s.func.body, lambda x: isinstance(x, If))
+        s.separate_tail(outer)
+        # after tail separation + pruning the main loop is branch-free
+        ifs = collect_stmts(s.func.body, lambda x: isinstance(x, If))
+        assert len(ifs) <= 1
+        run_equiv(s, f, rng.standard_normal(10).astype(np.float32))
+
+    def test_explicit_boundary(self, rng):
+        @ft.transform
+        def f(b: ft.Tensor[("n",), "f32", "input"],
+              a: ft.Tensor[("n",), "f32", "output"], k: ft.Size):
+            ft.label("L")
+            for i in range(b.shape(0)):
+                if i < k:
+                    a[i] = b[i] * 2.0
+                else:
+                    a[i] = b[i] * 3.0
+
+        s = Schedule(f)
+        sids = s.separate_tail("L")
+        assert len(sids) == 2
+        ifs = collect_stmts(s.func.body, lambda x: isinstance(x, If))
+        assert not ifs
+        arr = rng.standard_normal(9).astype(np.float32)
+        ref = build(f)(arr, k=4)
+        out = build(s.func)(arr, k=4)
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
