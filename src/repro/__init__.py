@@ -47,8 +47,38 @@ __all__ = [
     "empty", "inline", "label", "ones", "transform", "zeros",
     "ceil", "cos", "erf", "exp", "floor", "log", "sigmoid", "sin", "sqrt",
     "tan", "tanh", "abs", "max", "min",
+    "build_cache_stats", "clear_build_cache", "clear_compile_caches",
+    "compile_cache_stats",
     "__version__",
 ]
+
+
+def clear_compile_caches():
+    """Reset every compile-path cache: the build cache, the lowering memo,
+    the dependence-feasibility memo and the Omega feasibility memo."""
+    from .analysis import clear_analysis_cache
+    from .passes import clear_lower_cache
+    from .polyhedral import clear_feasibility_cache
+    from .runtime.driver import clear_build_cache
+
+    clear_build_cache()
+    clear_lower_cache()
+    clear_analysis_cache()
+    clear_feasibility_cache()
+
+
+def compile_cache_stats():
+    """Hit/miss counters for all compile-path caches (see
+    docs/PERFORMANCE.md)."""
+    from .analysis import analysis_cache_stats
+    from .polyhedral import feasibility_stats
+    from .runtime.driver import build_cache_stats
+
+    return {
+        "build": build_cache_stats(),
+        "deps": analysis_cache_stats(),
+        "omega": feasibility_stats(),
+    }
 
 
 def __getattr__(name):
@@ -61,4 +91,8 @@ def __getattr__(name):
         from .schedule.schedule import Schedule
 
         return Schedule
+    if name in ("build_cache_stats", "clear_build_cache"):
+        from .runtime import driver
+
+        return getattr(driver, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -3,10 +3,12 @@
 from .access import Access, collect_accesses
 from .bounds import (BoundsCtx, bound_candidates, const_bounds,
                      tightest_bounds)
-from .deps import Dependence, DepAnalyzer, DirItem, analyze
+from .deps import (Dependence, DepAnalyzer, DirItem, analysis_cache_stats,
+                   analyze, analyzer_for, clear_analysis_cache)
 
 __all__ = [
     "Access", "collect_accesses",
     "BoundsCtx", "bound_candidates", "const_bounds", "tightest_bounds",
-    "Dependence", "DepAnalyzer", "DirItem", "analyze",
+    "Dependence", "DepAnalyzer", "DirItem", "analysis_cache_stats",
+    "analyze", "analyzer_for", "clear_analysis_cache",
 ]

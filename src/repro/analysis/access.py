@@ -19,7 +19,8 @@ class Access:
     """One static memory access site."""
 
     __slots__ = ("tensor", "indices", "is_write", "reduce_op", "stmt",
-                 "loops", "conds", "def_depth", "order", "ancestors")
+                 "loops", "conds", "def_depth", "order", "ancestors",
+                 "cached_sig")
 
     def __init__(self, tensor: str, indices, is_write: bool,
                  reduce_op: Optional[str], stmt: S.Stmt, loops, conds,
@@ -40,6 +41,8 @@ class Access:
         self.order = order
         #: sids of all enclosing statements (incl. self.stmt)
         self.ancestors = frozenset(ancestors)
+        #: lazily-computed content signature (see ``deps._access_signature``)
+        self.cached_sig = None
 
     def __repr__(self):  # pragma: no cover - debugging aid
         kind = "W" if self.is_write else "R"

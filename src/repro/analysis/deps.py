@@ -26,12 +26,62 @@ cover the common cases used by the schedules:
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir import stmt as S
 from ..polyhedral import (Affine, AffineBuilder, LinCon, NonAffine,
                           is_feasible)
 from .access import Access, collect_accesses
+
+#: memo of feasibility verdicts keyed by *content signatures* of the access
+#: pair plus the direction query. Because the key captures everything the
+#: decision depends on (domains, indices, guards, loop identities, textual
+#: order), it is shared process-wide: re-analysing a program after a
+#: schedule primitive only pays for pairs in subtrees the primitive
+#: actually rewrote — unchanged subtrees produce identical signatures and
+#: hit the memo.
+_PAIR_MEMO: Dict[tuple, bool] = {}
+_PAIR_MEMO_LIMIT = 1 << 20
+
+_STATS = {"hits": 0, "misses": 0}
+
+
+def _cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_ANALYSIS_CACHE", "") != "1"
+
+
+def clear_analysis_cache():
+    """Drop the global dependence-feasibility memo (counters are kept)."""
+    _PAIR_MEMO.clear()
+
+
+def analysis_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the dependence-feasibility memo."""
+    return dict(_STATS)
+
+
+def _access_signature(a: Access) -> tuple:
+    """Content signature of an access: everything ``_dep_exists`` reads.
+
+    Deliberately sid-free: schedule primitives mint fresh sids for the
+    loops they create, so a sid-keyed memo would never hit across tuner
+    rounds even when the trees are structurally identical. The feasibility
+    verdict only depends on loop *content* (iteration variable, bounds),
+    plus pair-level facts — common-prefix length and direction-item
+    positions — that ``_dep_exists`` folds into the memo key itself.
+    """
+    if a.cached_sig is None:
+        a.cached_sig = (
+            a.tensor,
+            None if a.indices is None else tuple(i.key() for i in a.indices),
+            a.is_write,
+            a.reduce_op,
+            tuple((l.iter_var, l.begin.key(), l.end.key()) for l in a.loops),
+            tuple((c.key(), pol) for c, pol in a.conds),
+            a.def_depth,
+        )
+    return a.cached_sig
 
 _REL_BUILDERS = {
     "<": LinCon.lt,
@@ -88,11 +138,31 @@ class Dependence:
 
 
 class DepAnalyzer:
-    """Dependence query engine over one function body."""
+    """Dependence query engine over one function body.
+
+    An analyzer can be kept alive across schedule primitives: after a
+    primitive rewrites the tree, call :meth:`refresh` with the new root.
+    Access lists are re-collected (one linear walk), but feasibility
+    verdicts are memoized by *content*, so only pairs involving rewritten
+    subtrees are re-decided — the expensive polyhedral work is incremental
+    even though the scan is not.
+    """
 
     def __init__(self, node):
+        self.root = node
         self.accesses = collect_accesses(node)
-        self._cache: Dict[tuple, bool] = {}
+        # bucket accesses by tensor once; find() reuses the buckets
+        self._by_tensor: Dict[str, List[Access]] = {}
+        for a in self.accesses:
+            self._by_tensor.setdefault(a.tensor, []).append(a)
+
+    def refresh(self, node) -> "DepAnalyzer":
+        """Re-scan a (possibly rewritten) tree; keeps memoized verdicts
+        for unchanged access pairs. No-op when ``node`` is already the
+        analyzer's root."""
+        if node is not self.root:
+            self.__init__(node)
+        return self
 
     # -- public queries -----------------------------------------------------
     def find(self,
@@ -132,12 +202,12 @@ class DepAnalyzer:
 
     # -- pair enumeration -------------------------------------------------------
     def _pairs(self, tensors, ignore_reduce_pairs):
-        by_tensor: Dict[str, List[Access]] = {}
-        for a in self.accesses:
-            if tensors is not None and a.tensor not in tensors:
-                continue
-            by_tensor.setdefault(a.tensor, []).append(a)
-        for accs in by_tensor.values():
+        if tensors is None:
+            buckets = self._by_tensor.values()
+        else:
+            buckets = [self._by_tensor[t] for t in tensors
+                       if t in self._by_tensor]
+        for accs in buckets:
             for a in accs:  # earlier
                 for b in accs:  # later
                     if not (a.is_write or b.is_write):
@@ -162,14 +232,43 @@ class DepAnalyzer:
     # -- the core feasibility test ---------------------------------------------
     def _dep_exists(self, earlier: Access, later: Access,
                     direction: Tuple[DirItem, ...]) -> bool:
-        key = (id(earlier), id(later),
-               tuple((d.earlier_loop, d.later_loop, d.rel)
-                     for d in direction))
-        hit = self._cache.get(key)
+        if not _cache_enabled():
+            return self._dep_exists_uncached(earlier, later, direction)
+        # Common-prefix length: both loop chains are root-to-leaf ancestor
+        # paths in one tree, so shared loops are exactly a shared prefix of
+        # identical objects.
+        n_common = 0
+        for le, ll in zip(earlier.loops, later.loops):
+            if le is not ll:
+                break
+            n_common += 1
+        # Direction items name loops by sid; canonicalise to positions in
+        # the two loop chains so the key survives sid renaming. A referenced
+        # loop that encloses neither access decides the query (no dep) the
+        # same way the full test would.
+        canon_dir = ()
+        if direction:
+            pos_e = {l.sid: k for k, l in enumerate(earlier.loops)}
+            pos_l = {l.sid: k for k, l in enumerate(later.loops)}
+            items = []
+            for d in direction:
+                pe = pos_e.get(d.earlier_loop)
+                pl = pos_l.get(d.later_loop)
+                if pe is None or pl is None:
+                    return False
+                items.append((pe, pl, d.rel))
+            canon_dir = tuple(items)
+        key = (_access_signature(earlier), _access_signature(later),
+               n_common, earlier.order < later.order, canon_dir)
+        hit = _PAIR_MEMO.get(key)
         if hit is not None:
+            _STATS["hits"] += 1
             return hit
+        _STATS["misses"] += 1
         result = self._dep_exists_uncached(earlier, later, direction)
-        self._cache[key] = result
+        if len(_PAIR_MEMO) >= _PAIR_MEMO_LIMIT:  # pragma: no cover
+            _PAIR_MEMO.clear()
+        _PAIR_MEMO[key] = result
         return result
 
     def _dep_exists_uncached(self, earlier, later, direction) -> bool:
@@ -292,3 +391,16 @@ def _affine_of(expr, rename, out_cons: List[LinCon]) -> Optional[Affine]:
 def analyze(node) -> DepAnalyzer:
     """Build a dependence analyzer for a Func or statement tree."""
     return DepAnalyzer(node)
+
+
+def analyzer_for(func, analyzer: Optional[DepAnalyzer] = None) -> DepAnalyzer:
+    """A dependence analyzer valid for ``func``.
+
+    Schedule primitives accept an optional persistent analyzer (owned by
+    the Schedule); this refreshes it against ``func`` when needed, or
+    builds a fresh one. With ``REPRO_NO_ANALYSIS_CACHE=1`` a fresh
+    analyzer is always built (the escape hatch for differential testing).
+    """
+    if analyzer is None or not _cache_enabled():
+        return DepAnalyzer(func)
+    return analyzer.refresh(func)

@@ -19,6 +19,12 @@ class Target:
         self.max_shared_elems = max_shared_elems
         self.unroll_limit = unroll_limit
 
+    def cache_key(self) -> tuple:
+        """Full-content key for the build cache (repr omits tunables)."""
+        return ("Target", self.kind, self.name, self.num_threads,
+                self.block_size, self.max_local_elems,
+                self.max_shared_elems, self.unroll_limit)
+
     def __repr__(self):  # pragma: no cover
         return f"Target({self.kind}:{self.name})"
 

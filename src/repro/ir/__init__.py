@@ -18,6 +18,8 @@ from .expr import (Add, AnyExpr, BinOp, BoolConst, Cast, CmpOp, Const, EQ,
 from .functional import (collect_stmts, count_nodes, defined_tensors,
                          find_stmt, fresh_copy, fresh_name, match, reads_of,
                          rename_tensor, substitute, used_names, writes_of)
+from .hashing import (expr_fingerprint, fingerprint, func_fingerprint,
+                      stmt_fingerprint, struct_hash)
 from .printer import dump, print_ast, print_expr
 from .stmt import (Alloc, Any, Assert, Eval, For, ForProperty, Free, Func, If,
                    LibCall, REDUCE_OPS, ReduceTo, Stmt, StmtSeq, Store,
@@ -40,6 +42,9 @@ __all__ = [
     "collect_stmts", "count_nodes", "defined_tensors", "find_stmt",
     "fresh_copy", "fresh_name", "match", "reads_of", "rename_tensor",
     "substitute", "used_names", "writes_of",
+    # hashing
+    "expr_fingerprint", "fingerprint", "func_fingerprint",
+    "stmt_fingerprint", "struct_hash",
     # printer
     "dump", "print_ast", "print_expr",
     # stmt

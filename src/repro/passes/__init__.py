@@ -1,10 +1,25 @@
 """Lowering passes applied between staging and code generation."""
 
+import os
+
 from .cleanup import remove_dead_writes
 from .flatten import flatten_stmt_seq
 from .make_reduction import make_reduction
 from .prune import prune_branches
 from .simplify_pass import simplify, simplify_expr
+
+#: memo of lowered functions keyed by sid-inclusive content hash. Lowering
+#: is deterministic and sid-preserving, and lowered trees are treated as
+#: immutable by every consumer (schedules rebuild, never mutate in place),
+#: so sharing the output across callers is safe. The sid-inclusive key
+#: keeps statement addressing identical to a fresh lowering.
+_LOWER_MEMO = {}
+_LOWER_MEMO_LIMIT = 512
+
+
+def clear_lower_cache():
+    """Drop the lowering memo."""
+    _LOWER_MEMO.clear()
 
 
 def lower(func):
@@ -12,14 +27,27 @@ def lower(func):
     flatten statement sequences, canonicalise self-updates into
     reductions, fold/simplify expressions and control flow, and drop dead
     writes."""
+    key = None
+    if os.environ.get("REPRO_NO_LOWER_CACHE", "") != "1":
+        from ..ir.hashing import struct_hash
+
+        key = struct_hash(func, include_sids=True)
+        hit = _LOWER_MEMO.get(key)
+        if hit is not None:
+            return hit
     func = flatten_stmt_seq(func)
     func = make_reduction(func)
     func = simplify(func)
     func = remove_dead_writes(func)
+    if key is not None:
+        if len(_LOWER_MEMO) >= _LOWER_MEMO_LIMIT:  # pragma: no cover
+            _LOWER_MEMO.clear()
+        _LOWER_MEMO[key] = func
     return func
 
 
 __all__ = [
-    "flatten_stmt_seq", "make_reduction", "prune_branches",
-    "remove_dead_writes", "simplify", "simplify_expr", "lower",
+    "clear_lower_cache", "flatten_stmt_seq", "make_reduction",
+    "prune_branches", "remove_dead_writes", "simplify", "simplify_expr",
+    "lower",
 ]

@@ -21,7 +21,8 @@ conservative answer for dependence analysis.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .linear import Affine, Infeasible, LinCon, fresh_var
 
@@ -29,14 +30,129 @@ from .linear import Affine, Infeasible, LinCon, fresh_var
 _MAX_CONSTRAINTS = 4000
 _MAX_DEPTH = 64
 
+#: memo of canonicalized constraint systems -> feasibility verdict. Shared
+#: across all queries (dependence direction queries over one program repeat
+#: near-identical systems many times); keys are variable-renamed so fresh
+#: existential names do not defeat the memo.
+_MEMO: Dict[tuple, bool] = {}
+_MEMO_LIMIT = 1 << 20
+
+_STATS = {
+    "memo_hits": 0,
+    "memo_misses": 0,
+    "gcd_rejects": 0,
+    "interval_rejects": 0,
+    "full_solves": 0,
+}
+
+
+def _memo_enabled() -> bool:
+    return os.environ.get("REPRO_NO_OMEGA_MEMO", "") != "1"
+
+
+def clear_feasibility_cache():
+    """Drop the global feasibility memo (counters are kept)."""
+    _MEMO.clear()
+
+
+def feasibility_stats() -> Dict[str, int]:
+    """Counters for the fast paths and the feasibility memo."""
+    return dict(_STATS)
+
 
 def is_feasible(constraints: Iterable[LinCon]) -> bool:
     """Whether an integer point satisfies all constraints."""
     try:
+        # normalization + dedup: gcd-tightens every constraint and raises
+        # Infeasible for trivially-false ground constraints and for
+        # equalities whose coefficient gcd does not divide the constant
+        # (the single-constraint GCD quick-reject).
         cons = _normalize(constraints)
     except Infeasible:
+        _STATS["gcd_rejects"] += 1
         return False
-    return _solve(cons, 0)
+    if not cons:
+        return True
+    # Constant-bounds disjointness: conflicting single-variable interval
+    # bounds decide infeasibility without any elimination.
+    if _interval_reject(cons):
+        _STATS["interval_rejects"] += 1
+        return False
+    if not _memo_enabled():
+        _STATS["full_solves"] += 1
+        return _solve(cons, 0)
+    key = _canonical_key(cons)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        _STATS["memo_hits"] += 1
+        return hit
+    _STATS["memo_misses"] += 1
+    _STATS["full_solves"] += 1
+    result = _solve(cons, 0)
+    if len(_MEMO) >= _MEMO_LIMIT:  # pragma: no cover - backstop
+        _MEMO.clear()
+    _MEMO[key] = result
+    return result
+
+
+def _interval_reject(cons: List[LinCon]) -> bool:
+    """True when single-variable constraints alone are contradictory.
+
+    For every constraint mentioning exactly one variable, an integer
+    interval bound for that variable is derived; an empty intersection
+    proves infeasibility. This catches the common trivially-disjoint
+    dependence pairs (accesses to constant, non-overlapping index ranges)
+    at a fraction of the cost of Fourier-Motzkin elimination.
+    """
+    lo: Dict[str, int] = {}
+    hi: Dict[str, int] = {}
+    for con in cons:
+        coeffs = con.expr.coeffs
+        if len(coeffs) != 1:
+            continue
+        (v, c), = coeffs.items()
+        k = con.expr.const
+        if con.is_eq:
+            # c*v + k == 0; after gcd-normalization |c| may still be > 1
+            if k % c != 0:
+                return True
+            val = -k // c
+            if val > hi.get(v, val) or val < lo.get(v, val):
+                return True
+            lo[v] = hi[v] = val
+        elif c > 0:
+            # c*v >= -k  =>  v >= ceil(-k / c)
+            b = -(k // c)
+            if v not in lo or b > lo[v]:
+                lo[v] = b
+        else:
+            # |c|*v <= k  =>  v <= floor(k / |c|)
+            b = k // -c
+            if v not in hi or b < hi[v]:
+                hi[v] = b
+    for v, b in lo.items():
+        if v in hi and b > hi[v]:
+            return True
+    return False
+
+
+def _canonical_key(cons: List[LinCon]) -> tuple:
+    """A hashable key with variables renamed by first appearance.
+
+    Renaming is injective per system, so two systems sharing a key are
+    genuinely identical up to variable names; instability in the renaming
+    order can only cost memo hits, never correctness.
+    """
+    ren: Dict[str, int] = {}
+    parts = []
+    for c in cons:
+        # first appearance in *construction* order (dict insertion order),
+        # which mirrors the structure of the system rather than the
+        # spelling of the names — renamed-but-identical systems share keys
+        items = tuple(sorted((ren.setdefault(v, len(ren)), k)
+                             for v, k in c.expr.coeffs.items()))
+        parts.append((c.is_eq, c.expr.const, items))
+    return tuple(parts)
 
 
 def _normalize(constraints) -> List[LinCon]:

@@ -1,6 +1,8 @@
 """Runtime: drivers, interpreters, metric collectors, simulated devices."""
 
-from .driver import Executable, build, register_backend
+from .driver import (Executable, build, build_cache_stats, clear_build_cache,
+                     register_backend)
 from .interpreter import Interpreter
 
-__all__ = ["Executable", "build", "register_backend", "Interpreter"]
+__all__ = ["Executable", "build", "build_cache_stats", "clear_build_cache",
+           "register_backend", "Interpreter"]

@@ -14,17 +14,57 @@
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..errors import BackendError, InvalidProgram
 from ..ir import (AccessType, Const, Expr, Func, IntConst, Var, VarDef,
-                  defined_tensors)
+                  defined_tensors, struct_hash)
 from ..frontend.staging import Program
 
 #: registry of backend builders: name -> callable(func, **opts) -> run(env)
 _BACKENDS = {}
+
+#: content-addressed build cache: (IR hash, backend, optimize, target,
+#: opts) -> Executable. Executables are stateless between calls, so a
+#: cached one can be handed to any number of callers.
+_BUILD_CACHE: Dict[tuple, "Executable"] = {}
+_BUILD_CACHE_LIMIT = 1024
+_BUILD_STATS = {"hits": 0, "misses": 0, "uncacheable": 0}
+
+
+def clear_build_cache():
+    """Drop all cached Executables; the next build() compiles cold."""
+    _BUILD_CACHE.clear()
+
+
+def build_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the content-addressed build cache."""
+    return dict(_BUILD_STATS)
+
+
+def _target_key(target):
+    if target is None:
+        return None
+    key = getattr(target, "cache_key", None)
+    if callable(key):
+        return key()
+    return repr(target)
+
+
+def _build_cache_key(func, backend, optimize, target, opts):
+    """The cache key, or None when some option defies content hashing."""
+    items = []
+    for k in sorted(opts):
+        v = opts[k]
+        if not isinstance(v, (str, int, float, bool, type(None))):
+            return None  # stateful opts (metrics sinks, devices): no cache
+        items.append((k, v))
+    return (struct_hash(func), backend, bool(optimize),
+            _target_key(target), tuple(items))
 
 
 def register_backend(name: str):
@@ -92,10 +132,14 @@ def _build_gpusim(func: Func, device=None, metrics=None, **_opts):
 class Executable:
     """A compiled DSL function, callable on NumPy arrays."""
 
-    def __init__(self, func: Func, run_fn, backend: str):
+    def __init__(self, func: Func, run_fn, backend: str,
+                 compile_times: Optional[Dict[str, float]] = None):
         self.func = func
         self.backend = backend
         self._run = run_fn
+        #: per-phase compile wall-clock seconds (schedule/lower/codegen)
+        self.compile_times: Dict[str, float] = dict(compile_times or {})
+        self._dim_interp = None
         self._defs = defined_tensors(func.body)
         # Parameters the caller must provide data for, in order.
         self.data_params: List[str] = [
@@ -124,9 +168,12 @@ class Executable:
         extra = set(scalars) - set(sc)
         if extra:
             raise InvalidProgram(f"unknown scalar parameters: {sorted(extra)}")
-        # Unify declared shapes against actual shapes.
+        # Unify declared shapes against actual shapes (converting each
+        # array exactly once; the checked arrays are reused below).
+        converted: List[np.ndarray] = []
         for name, arr in zip(self.data_params, arrays):
             arr = np.asarray(arr)
+            converted.append(arr)
             vd = self._defs[name]
             if arr.ndim != vd.ndim:
                 raise InvalidProgram(
@@ -142,9 +189,10 @@ class Executable:
                     f"shapes; pass it as a keyword argument")
         # Check dims and convert dtypes. (np.ascontiguousarray promotes
         # 0-D arrays to 1-D, so contiguity is handled separately.)
-        for name, arr in zip(self.data_params, arrays):
+        for name, arr in zip(self.data_params, converted):
             vd = self._defs[name]
-            arr = np.asarray(arr, dtype=vd.dtype.to_numpy())
+            if arr.dtype != vd.dtype.to_numpy():
+                arr = arr.astype(vd.dtype.to_numpy())
             if arr.ndim and not arr.flags["C_CONTIGUOUS"]:
                 arr = np.ascontiguousarray(arr)
             expect = tuple(self._eval_dim(d, sc) for d in vd.shape)
@@ -179,11 +227,13 @@ class Executable:
         # Composite dimension expressions are checked after inference.
 
     def _eval_dim(self, d: Expr, sc: Dict[str, int]) -> int:
-        from .interpreter import Interpreter
-
         if isinstance(d, Const):
             return int(d.val)
-        return int(Interpreter().eval_expr(d, dict(sc)))
+        if self._dim_interp is None:
+            from .interpreter import Interpreter
+
+            self._dim_interp = Interpreter()
+        return int(self._dim_interp.eval_expr(d, dict(sc)))
 
     # -- running ----------------------------------------------------------
     def run_env(self, env: Dict[str, object]):
@@ -205,6 +255,12 @@ class Executable:
     def source(self) -> Optional[str]:
         """Generated backend source, if the backend produces source code."""
         return getattr(self._run, "__ft_source__", None)
+
+    @property
+    def compile_time_total(self) -> float:
+        """Total compile wall-clock (0.0 for a cache-served Executable's
+        second caller — compilation happened once, earlier)."""
+        return sum(self.compile_times.values())
 
 
 def _as_func(program_or_func) -> Func:
@@ -228,18 +284,40 @@ def build(program_or_func,
     ``repro.autosched``).
     """
     func = _as_func(program_or_func)
+    key = None
+    if os.environ.get("REPRO_NO_BUILD_CACHE", "") != "1":
+        key = _build_cache_key(func, backend, optimize, target, opts)
+        if key is None:
+            _BUILD_STATS["uncacheable"] += 1
+        else:
+            hit = _BUILD_CACHE.get(key)
+            if hit is not None:
+                _BUILD_STATS["hits"] += 1
+                return hit
+            _BUILD_STATS["misses"] += 1
+    times: Dict[str, float] = {}
+    t0 = time.perf_counter()
     if optimize:
         from ..autosched import auto_schedule
 
         func = auto_schedule(func, target=target, backend=backend)
+        times["schedule"] = time.perf_counter() - t0
     else:
         from ..passes import lower
 
         func = lower(func)
+        times["lower"] = time.perf_counter() - t0
     try:
         builder = _BACKENDS[backend]
     except KeyError:
         raise BackendError(f"unknown backend {backend!r}; available: "
                            f"{sorted(_BACKENDS)}") from None
+    t0 = time.perf_counter()
     run_fn = builder(func, target=target, **opts)
-    return Executable(func, run_fn, backend)
+    times["codegen"] = time.perf_counter() - t0
+    exe = Executable(func, run_fn, backend, compile_times=times)
+    if key is not None:
+        if len(_BUILD_CACHE) >= _BUILD_CACHE_LIMIT:  # pragma: no cover
+            _BUILD_CACHE.clear()
+        _BUILD_CACHE[key] = exe
+    return exe

@@ -6,7 +6,7 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional, Tuple
 
-from ..analysis import DepAnalyzer, DirItem
+from ..analysis import DirItem, analyzer_for
 from ..errors import DependenceViolation, InvalidSchedule
 from ..ir import (For, ForProperty, If, IntConst, StmtSeq, Var, VarDef,
                   collect_stmts, fresh_copy, same_expr, seq, substitute, wrap)
@@ -75,7 +75,7 @@ def merge(func, outer_sel, inner_sel):
     return new_func, merged.sid
 
 
-def reorder(func, order: List[str]):
+def reorder(func, order: List[str], analyzer=None):
     """Permute a perfectly nested loop band into the given order.
 
     Illegal when some dependence would become lexicographically negative
@@ -103,7 +103,7 @@ def reorder(func, order: List[str]):
     new_order = sels
     perm = [old_order.index(s) for s in new_order]
 
-    _check_permutation_legal(func, band, perm)
+    _check_permutation_legal(func, band, perm, analyzer)
 
     innermost_body = band[-1].body
     loops_by_sid = {l.sid: l for l in band}
@@ -122,10 +122,11 @@ def _enclosing_sids(func, sid):
     return [s.sid for s in path_to(func.body, sid)[:-1]]
 
 
-def _check_permutation_legal(func, band: List[For], perm: List[int]):
+def _check_permutation_legal(func, band: List[For], perm: List[int],
+                             analyzer=None):
     """Enumerate direction vectors that flip lexicographic sign."""
     n = len(band)
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     for vec in itertools.product("<=>", repeat=n):
         if _lex_sign(vec) != 1:
             continue  # cannot exist as a dependence
@@ -151,7 +152,7 @@ def _lex_sign(vec) -> int:
     return 0
 
 
-def fission(func, loop_sel, after_sel):
+def fission(func, loop_sel, after_sel, analyzer=None):
     """Fission a loop into two at the statement ``after_sel`` (which ends
     the first loop). Returns ``(new_func, front_sid, back_sid)``.
 
@@ -174,7 +175,7 @@ def fission(func, loop_sel, after_sel):
     for s in back_inner:
         back_sids |= _subtree_sids(s)
 
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     for s2 in back_inner:
         for group in prefixes + [front_inner]:
             for s1 in group:
@@ -271,7 +272,7 @@ def _split_body(func, loop: For, after_sel: str):
             f"(possibly under VarDefs)")
 
 
-def fuse(func, loop0_sel, loop1_sel):
+def fuse(func, loop0_sel, loop1_sel, analyzer=None):
     """Fuse two consecutive loops of equal length into one.
 
     Returns ``(new_func, fused_sid)``. Illegal when a dependence from the
@@ -284,7 +285,7 @@ def fuse(func, loop0_sel, loop1_sel):
     l0 = find_loop(func.body, loop0_sel)
     l1 = find_loop(func.body, loop1_sel)
     if not _are_consecutive(func, l0, l1):
-        func = _make_siblings(func, l0.sid, l1.sid)
+        func = _make_siblings(func, l0.sid, l1.sid, analyzer)
         l0 = find_loop(func.body, l0.sid)
         l1 = find_loop(func.body, l1.sid)
     parent = parent_of(func.body, l0.sid)
@@ -300,7 +301,7 @@ def fuse(func, loop0_sel, loop1_sel):
             f"cannot fuse loops of (possibly) different lengths "
             f"{l0.len!r} vs {l1.len!r}")
 
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     deps = analyzer.find(
         earlier_in=l0.sid,
         later_in=l1.sid,
@@ -335,7 +336,7 @@ def _are_consecutive(func, l0: For, l1: For) -> bool:
     return False
 
 
-def _make_siblings(func, l0_sid: str, l1_sid: str):
+def _make_siblings(func, l0_sid: str, l1_sid: str, analyzer=None):
     """Normalisation enabling fuse: extend VarDef scopes separating the two
     loops over both, and move the separating statements before the first
     loop (dependence-checked)."""
@@ -380,7 +381,7 @@ def _make_siblings(func, l0_sid: str, l1_sid: str):
     # require no loop-independent dependence between them and l0.
     common_loops = loops_on_path(func.body, parent.sid)
     direction = [DirItem.same_loop(l.sid, "=") for l in common_loops]
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     for b in between:
         for earlier_sid, later_sid in ((l0.sid, b.sid), (b.sid, l0.sid)):
             deps = analyzer.find(earlier_in=earlier_sid,
@@ -421,7 +422,7 @@ def _provably_equal(a, b) -> bool:
                 or is_feasible(ca + cb + [LinCon.gt(aa, ab)]))
 
 
-def swap(func, stmt_sels: List[str]):
+def swap(func, stmt_sels: List[str], analyzer=None):
     """Reorder consecutive sibling statements into the given order.
 
     Illegal when two statements whose relative order changes have a
@@ -443,7 +444,7 @@ def swap(func, stmt_sels: List[str]):
 
     common_loops = loops_on_path(func.body, parent.sid)
     direction = [DirItem.same_loop(l.sid, "=") for l in common_loops]
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     old_order = [s.sid for s in parent.stmts[idxs[0]:idxs[0] + len(idxs)]]
     new_rank = {sid: k for k, sid in enumerate(sids)}
     for a_pos, a_sid in enumerate(old_order):

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..analysis import DepAnalyzer, DirItem
+from ..analysis import DirItem, analyzer_for
 from ..errors import DependenceViolation, InvalidSchedule
 from ..ir import (For, IntConst, Mutator, ReduceTo, StmtSeq, collect_stmts,
                   fresh_copy, seq, substitute, wrap)
@@ -19,7 +19,7 @@ PARALLEL_KINDS = (
 )
 
 
-def parallelize(func, loop_sel, kind: str = "openmp"):
+def parallelize(func, loop_sel, kind: str = "openmp", analyzer=None):
     """Run a loop's iterations on parallel threads.
 
     Illegal when a non-reduction dependence is carried by the loop
@@ -30,7 +30,7 @@ def parallelize(func, loop_sel, kind: str = "openmp"):
         raise InvalidSchedule(
             f"unknown parallel kind {kind!r}; choose from {PARALLEL_KINDS}")
     loop = find_loop(func.body, loop_sel)
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     deps = analyzer.find(direction=[DirItem.same_loop(loop.sid, "!=")],
                          first_only=True)
     if deps:
@@ -97,14 +97,14 @@ def unroll(func, loop_sel, immediate: bool = True):
     return replace_stmt(func, loop.sid, seq(copies))
 
 
-def vectorize(func, loop_sel):
+def vectorize(func, loop_sel, analyzer=None):
     """Mark a loop for vector execution (NumPy kernels / SIMD / warps).
 
     Requires the same independence as ``parallelize``; reductions are
     allowed (lowered to vector reductions).
     """
     loop = find_loop(func.body, loop_sel)
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     deps = analyzer.find(direction=[DirItem.same_loop(loop.sid, "!=")],
                          first_only=True)
     if deps:
@@ -121,7 +121,7 @@ def vectorize(func, loop_sel):
     return replace_stmt(func, loop.sid, mark)
 
 
-def blend(func, loop_sel):
+def blend(func, loop_sel, analyzer=None):
     """Unroll a loop and interleave statement copies statement-major
     (all iterations of the first statement, then of the second, ...).
 
@@ -142,7 +142,7 @@ def blend(func, loop_sel):
         raise InvalidSchedule(
             "blend across a VarDef is not supported; fission first")
 
-    analyzer = DepAnalyzer(func)
+    analyzer = analyzer_for(func, analyzer)
     for i, s1 in enumerate(stmts):
         for s2 in stmts[i + 1:]:
             deps = analyzer.find(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..analysis import DepAnalyzer
 from ..frontend.staging import Program
 from ..ir import For, Func, Stmt, collect_stmts, dump
 from . import loop_trans, mem_trans, misc_trans, parallel_trans
@@ -38,6 +39,19 @@ class Schedule:
 
         self.func = lower(func)
         self._log: List[str] = []
+        #: one persistent dependence analyzer for the whole session; each
+        #: primitive refreshes it against the current tree instead of
+        #: rebuilding analysis state from scratch (feasibility verdicts
+        #: for unchanged subtrees are memoized by content).
+        self._analyzer: Optional[DepAnalyzer] = None
+
+    def _deps(self) -> DepAnalyzer:
+        """The session's persistent analyzer, refreshed for ``self.func``."""
+        if self._analyzer is None:
+            self._analyzer = DepAnalyzer(self.func)
+        else:
+            self._analyzer.refresh(self.func)
+        return self._analyzer
 
     # -- introspection ------------------------------------------------------
     def find(self, selector) -> Stmt:
@@ -82,30 +96,35 @@ class Schedule:
 
     def reorder(self, order: List):
         """Permute a perfectly nested band into ``order``."""
-        self.func = loop_trans.reorder(self.func, order)
+        self.func = loop_trans.reorder(self.func, order,
+                                       analyzer=self._deps())
         self._log.append(f"reorder({order})")
 
     def fission(self, loop, after):
         """Fission a loop after a statement; returns (front, back) sids."""
-        self.func, front, back = loop_trans.fission(self.func, loop, after)
+        self.func, front, back = loop_trans.fission(self.func, loop, after,
+                                                    analyzer=self._deps())
         self._log.append(f"fission({loop}, after={after})")
         return front, back
 
     def fuse(self, loop0, loop1):
         """Fuse two consecutive loops; returns the fused sid."""
-        self.func, fused = loop_trans.fuse(self.func, loop0, loop1)
+        self.func, fused = loop_trans.fuse(self.func, loop0, loop1,
+                                           analyzer=self._deps())
         self._log.append(f"fuse({loop0}, {loop1})")
         return fused
 
     def swap(self, stmts: List):
         """Reorder consecutive sibling statements into the given order."""
-        self.func = loop_trans.swap(self.func, stmts)
+        self.func = loop_trans.swap(self.func, stmts,
+                                    analyzer=self._deps())
         self._log.append(f"swap({stmts})")
 
     # -- parallelizing transformations ---------------------------------------
     def parallelize(self, loop, kind: str = "openmp"):
         """Bind a loop to parallel hardware (threads / CUDA grid)."""
-        self.func = parallel_trans.parallelize(self.func, loop, kind)
+        self.func = parallel_trans.parallelize(self.func, loop, kind,
+                                               analyzer=self._deps())
         self._log.append(f"parallelize({loop}, {kind})")
 
     def unroll(self, loop, immediate: bool = True):
@@ -115,12 +134,14 @@ class Schedule:
 
     def vectorize(self, loop):
         """Execute a loop with vector kernels / SIMD."""
-        self.func = parallel_trans.vectorize(self.func, loop)
+        self.func = parallel_trans.vectorize(self.func, loop,
+                                             analyzer=self._deps())
         self._log.append(f"vectorize({loop})")
 
     def blend(self, loop):
         """Unroll a loop and interleave its statements."""
-        self.func = parallel_trans.blend(self.func, loop)
+        self.func = parallel_trans.blend(self.func, loop,
+                                         analyzer=self._deps())
         self._log.append(f"blend({loop})")
 
     # -- memory transformations -----------------------------------------------
