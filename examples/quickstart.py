@@ -13,22 +13,23 @@ from repro.runtime import build
 from repro.schedule import Schedule
 
 
-def main():
-    # ------------------------------------------------------------------
-    # 1. Write a tensor program as plain Python: loops, slices, branches.
-    #    @ft.transform stages it into the FreeTensor IR at decoration.
-    # ------------------------------------------------------------------
-    @ft.transform
-    def smooth(x: ft.Tensor[("n",), "f32", "input"]):
-        y = ft.zeros(("n",), "f32")
-        ft.label("main")
-        for i in range(x.shape(0)):
-            if i == 0 or i == x.shape(0) - 1:
-                y[i] = x[i]
-            else:
-                y[i] = (x[i - 1] + x[i] + x[i + 1]) / 3.0
-        return y
+# ----------------------------------------------------------------------
+# 1. Write a tensor program as plain Python: loops, slices, branches.
+#    @ft.transform stages it into the FreeTensor IR at decoration.
+# ----------------------------------------------------------------------
+@ft.transform
+def smooth(x: ft.Tensor[("n",), "f32", "input"]):
+    y = ft.zeros(("n",), "f32")
+    ft.label("main")
+    for i in range(x.shape(0)):
+        if i == 0 or i == x.shape(0) - 1:
+            y[i] = x[i]
+        else:
+            y[i] = (x[i - 1] + x[i] + x[i + 1]) / 3.0
+    return y
 
+
+def main():
     print("=== staged IR ===")
     print(dump(smooth.func))
 

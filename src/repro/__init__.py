@@ -29,7 +29,7 @@ if _sys.getrecursionlimit() < 20000:
 
 from .errors import (ADError, BackendError, DependenceViolation,
                      FreeTensorError, InvalidProgram, InvalidSchedule,
-                     SimulatedOOM, StagingError)
+                     SimulatedOOM, StagingError, VerificationError)
 from .frontend import (Program, Size, Tensor, TensorRef, capture, create_var,
                        empty, inline, label, ones, transform, zeros)
 from .frontend.tensor import (ceil, cos, erf, exp, floor, log, sigmoid, sin,
@@ -43,6 +43,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ADError", "BackendError", "DependenceViolation", "FreeTensorError",
     "InvalidProgram", "InvalidSchedule", "SimulatedOOM", "StagingError",
+    "VerificationError", "verify",
     "Program", "Size", "Tensor", "TensorRef", "capture", "create_var",
     "empty", "inline", "label", "ones", "transform", "zeros",
     "ceil", "cos", "erf", "exp", "floor", "log", "sigmoid", "sin", "sqrt",
@@ -83,10 +84,10 @@ def compile_cache_stats():
 
 def __getattr__(name):
     # Heavier subsystems load lazily so `import repro` stays fast.
-    if name == "libop":
+    if name in ("libop", "verify"):
         import importlib
 
-        return importlib.import_module(".libop", __name__)
+        return importlib.import_module("." + name, __name__)
     if name == "Schedule":
         from .schedule.schedule import Schedule
 

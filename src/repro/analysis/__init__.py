@@ -1,14 +1,17 @@
-"""Program analyses: accesses, dependences, symbolic bounds."""
+"""Program analyses: accesses, dependences, symbolic bounds, and the
+whole-program verifier (``repro.analysis.verify``)."""
 
 from .access import Access, collect_accesses
 from .bounds import (BoundsCtx, bound_candidates, const_bounds,
                      tightest_bounds)
 from .deps import (Dependence, DepAnalyzer, DirItem, analysis_cache_stats,
                    analyze, analyzer_for, clear_analysis_cache)
+from .verify import Diagnostic, Diagnostics, verify
 
 __all__ = [
     "Access", "collect_accesses",
     "BoundsCtx", "bound_candidates", "const_bounds", "tightest_bounds",
     "Dependence", "DepAnalyzer", "DirItem", "analysis_cache_stats",
     "analyze", "analyzer_for", "clear_analysis_cache",
+    "Diagnostic", "Diagnostics", "verify",
 ]

@@ -200,6 +200,13 @@ class DepAnalyzer:
     def has_dep(self, **kwargs) -> bool:
         return bool(self.find(first_only=True, **kwargs))
 
+    def pair_feasible(self, earlier: Access, later: Access,
+                      direction: Sequence[DirItem] = ()) -> bool:
+        """May some instance of ``earlier`` precede and alias some
+        instance of ``later``? The single-pair form of :meth:`find`,
+        used by the verifier's def-use and dead-write analyses."""
+        return self._dep_exists(earlier, later, tuple(direction))
+
     # -- pair enumeration -------------------------------------------------------
     def _pairs(self, tensors, ignore_reduce_pairs):
         if tensors is None:

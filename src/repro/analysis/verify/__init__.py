@@ -1,0 +1,19 @@
+"""Whole-program IR verifier: bounds sanitizer, race detector, def-use
+checker and lint, reporting structured :class:`Diagnostic` findings.
+
+See docs/DIAGNOSTICS.md for the catalogue of error codes.
+"""
+
+from .bounds_check import check_bounds
+from .defuse import check_defuse
+from .diagnostics import (SEVERITIES, SEVERITY_ORDER, Diagnostic,
+                          Diagnostics, dependence_diagnostic, ir_path)
+from .lint import check_lint
+from .races import check_races
+from .verifier import ANALYSES, verify
+
+__all__ = [
+    "ANALYSES", "Diagnostic", "Diagnostics", "SEVERITIES",
+    "SEVERITY_ORDER", "check_bounds", "check_defuse", "check_lint",
+    "check_races", "dependence_diagnostic", "ir_path", "verify",
+]

@@ -1,0 +1,180 @@
+"""Out-of-bounds sanitizer (codes FT101/FT102/FT103).
+
+Every indexed access is checked against its tensor's declared extents
+with the same Presburger machinery the scheduler uses for dependence
+analysis. The check is two-tiered:
+
+1. **Exact tier.** When the access's iteration domain (loop bounds,
+   ``if``/``assert`` guards) and the index/extent expressions are all
+   affine, the violation system ``domain ∧ (index < 0 ∨ index ≥ extent)``
+   is decided exactly by the Omega test: feasible means a *proven*
+   out-of-bounds access (FT101, error); infeasible means proven safe.
+
+2. **Atomized tier.** Non-affine sub-expressions (data-dependent indices
+   like ``indptr[i]``, products of iterators, ``min``/``max``) are
+   replaced by fresh unconstrained *atom* variables — one atom per
+   distinct expression, shared across the whole system, which preserves
+   relations like ``indptr[i] ≤ jj < indptr[i+1]`` between a loop bound
+   and an index. Symbolic bound candidates from ``analysis.bounds``
+   further constrain atomized indices (this is what proves ``min``/
+   ``max``-clamped accesses safe). The atomized system over-approximates
+   the reachable states, so *infeasible still proves safety*; a feasible
+   violation only means "cannot prove in bounds" and is reported as a
+   warning (FT102) rather than an error.
+
+Tensors are assumed non-empty (every extent >= 1): without this, any
+constant-index access (``y[0]`` with symbolic extent ``n``) would be
+flagged for the degenerate zero-extent case. A fixed index that demands
+a *larger* extent (``y[5]``) is still reported — add an ``assert``
+relating the extents if that precondition is intended.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...ir import defined_tensors
+from ...ir import stmt as S
+from ...ir.printer import print_expr
+from ...polyhedral import Affine, AffineBuilder, LinCon, NonAffine, is_feasible
+from ..access import Access, collect_accesses
+from ..bounds import BoundsCtx, bound_candidates
+from .diagnostics import Diagnostic, ir_path
+
+#: cap on symbolic bound candidates fed into the solver per side — the
+#: candidate sets grow multiplicatively through +/- and min/max
+_MAX_CANDIDATES = 24
+
+
+class _AtomizingBuilder(AffineBuilder):
+    """An :class:`AffineBuilder` that never fails: non-affine
+    sub-expressions become fresh unconstrained variables ("atoms").
+
+    Atoms are shared through ``atoms`` (keyed by expression content), so
+    the same non-affine value appearing in a loop bound and in an index
+    maps to the same variable — sound because every constraint in one
+    system concerns a single statement instance, where each expression
+    has a single value.
+    """
+
+    def __init__(self, atoms: Dict[str, str], state: dict, rename=None):
+        super().__init__(rename)
+        self.atoms = atoms
+        self._state = state  # {"exact": bool} shared across builders
+
+    def build(self, e) -> Affine:
+        try:
+            return AffineBuilder.build(self, e)
+        except NonAffine:
+            self._state["exact"] = False
+            name = self.atoms.setdefault(e.key(), f"$atom{len(self.atoms)}")
+            return Affine.var(name)
+
+
+def _domain_cons(acc: Access, atoms: Dict[str, str], state: dict
+                 ) -> List[LinCon]:
+    """Constraints describing one instance of the access's iteration
+    domain. Atomizes non-affine pieces; drops (and marks inexact)
+    disjunctive or unmodellable guards."""
+    out: List[LinCon] = []
+    b = _AtomizingBuilder(atoms, state)
+    for loop in acc.loops:
+        iv = Affine.var(loop.iter_var)
+        out.append(LinCon.ge(iv, b.build(loop.begin)))
+        out.append(LinCon.lt(iv, b.build(loop.end)))
+    for cond, polarity in acc.conds:
+        cb = _AtomizingBuilder(atoms, state)
+        try:
+            alts = cb.build_condition(cond, not polarity)
+        except NonAffine:
+            state["exact"] = False  # guard dropped: domain over-approximated
+            continue
+        if len(alts) == 1:
+            out.extend(cb.extra_cons)
+            out.extend(alts[0])
+        else:
+            state["exact"] = False  # disjunctive guard dropped
+    out.extend(b.extra_cons)
+    return out
+
+
+def _candidate_cons(idx, idx_a: Affine, ctx: BoundsCtx,
+                    atoms: Dict[str, str]) -> List[LinCon]:
+    """Sound extra constraints on an index from its symbolic bound
+    candidates. These only ever *prove more* accesses safe, so they never
+    affect the exactness verdict (they use a throwaway state)."""
+    out: List[LinCon] = []
+    scratch = {"exact": True}
+    b = _AtomizingBuilder(atoms, scratch)
+    lowers, uppers = bound_candidates(idx, ctx)
+    for lo in lowers[:_MAX_CANDIDATES]:
+        out.append(LinCon.ge(idx_a, b.build(lo)))
+    for up in uppers[:_MAX_CANDIDATES]:
+        out.append(LinCon.le(idx_a, b.build(up)))
+    out.extend(b.extra_cons)
+    return out
+
+
+def check_bounds(func: S.Func) -> List[Diagnostic]:
+    """All bounds findings for one function."""
+    diags: List[Diagnostic] = []
+    defs = defined_tensors(func.body)
+    for acc in collect_accesses(func):
+        vd = defs.get(acc.tensor)
+        if vd is None or acc.indices is None:
+            continue  # whole-tensor (LibCall) operands have no index to check
+        kind = "write to" if acc.is_write else "read of"
+        if len(acc.indices) != vd.ndim:
+            diags.append(
+                Diagnostic(
+                    "FT103", "error",
+                    f"{kind} {acc.tensor!r} with {len(acc.indices)} "
+                    f"indices, but the tensor is {vd.ndim}-dimensional",
+                    stmt=acc.stmt, tensor=acc.tensor,
+                    path=ir_path(func, acc.stmt.sid)))
+            continue
+        if not acc.indices:
+            continue  # scalar access: nothing to bound
+
+        atoms: Dict[str, str] = {}
+        state = {"exact": True}
+        base = _domain_cons(acc, atoms, state)
+        ctx = BoundsCtx(
+            {l.iter_var: (l.begin, l.end) for l in acc.loops})
+        builder = _AtomizingBuilder(atoms, state)
+        for dim, (idx, extent) in enumerate(zip(acc.indices, vd.shape)):
+            idx_a = builder.build(idx)
+            ext_a = builder.build(extent)
+            cons = base + builder.extra_cons
+            cons += _candidate_cons(idx, idx_a, ctx, atoms)
+            # Assume the accessed tensor is non-empty: without it, every
+            # constant-index access (y[0] on a tensor of symbolic extent
+            # n) would be flagged for the degenerate n = 0 case.
+            cons.append(LinCon.ge(ext_a, Affine.constant(1)))
+            low_bad = is_feasible(cons + [LinCon.lt(idx_a,
+                                                    Affine.constant(0))])
+            high_bad = is_feasible(cons + [LinCon.ge(idx_a, ext_a)])
+            if not (low_bad or high_bad):
+                continue
+            side = "is negative" if low_bad else \
+                f"reaches or exceeds extent {print_expr(extent)}"
+            if state["exact"]:
+                diags.append(
+                    Diagnostic(
+                        "FT101", "error",
+                        f"{kind} {acc.tensor!r} out of bounds: index "
+                        f"{print_expr(idx)} of dimension {dim} {side} "
+                        f"for some loop iteration",
+                        stmt=acc.stmt, tensor=acc.tensor,
+                        path=ir_path(func, acc.stmt.sid)))
+            else:
+                diags.append(
+                    Diagnostic(
+                        "FT102", "warning",
+                        f"cannot prove {kind} {acc.tensor!r} in bounds: "
+                        f"index {print_expr(idx)} of dimension {dim} "
+                        f"is data-dependent or non-affine "
+                        f"(extent {print_expr(extent)})",
+                        stmt=acc.stmt, tensor=acc.tensor,
+                        path=ir_path(func, acc.stmt.sid)))
+    return diags

@@ -1,0 +1,79 @@
+"""Def-use checker (codes FT301/FT302).
+
+Locally-allocated (``cache``) tensors hold garbage until written. For
+every read of such a tensor — a ``Load``, or the read half of a
+``ReduceTo``'s read-modify-write — the checker asks the dependence engine
+whether *any* initializing write (a ``Store`` or library-call output; a
+``ReduceTo`` does not initialize) can precede the read on an aliasing
+element:
+
+- a read with no feasible preceding write, when the tensor *is* written
+  elsewhere, is a proven use-before-initialization (FT301);
+- a read of a tensor with no initializing write anywhere is FT302.
+
+Feasibility uses the same exact-when-affine / conservative-when-not
+Presburger test as scheduling, so data-dependent indices silence the
+checker (may-alias) rather than producing false positives. Tensors whose
+contents come from outside — ``input`` / ``inout`` parameters, ``output``
+parameters (the driver zero-fills them), and captured constants
+(``init_data``) — are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ir import AccessType, defined_tensors
+from ...ir import stmt as S
+from ..deps import DepAnalyzer
+from .diagnostics import Diagnostic, ir_path
+
+
+def _uninitialized(vd: S.VarDef) -> bool:
+    return vd.atype is AccessType.CACHE and vd.init_data is None
+
+
+def check_defuse(func: S.Func) -> List[Diagnostic]:
+    """All def-use findings for one function."""
+    defs = defined_tensors(func.body)
+    targets = {name for name, vd in defs.items() if _uninitialized(vd)}
+    if not targets:
+        return []
+    analyzer = DepAnalyzer(func)
+    by_tensor = {}
+    for acc in analyzer.accesses:
+        if acc.tensor in targets:
+            by_tensor.setdefault(acc.tensor, []).append(acc)
+
+    diags: List[Diagnostic] = []
+    for tensor, accs in by_tensor.items():
+        # Initializing writes: Store / LibCall outputs. ReduceTo reads its
+        # target first, so it *consumes* an initialization, never provides
+        # one.
+        inits = [a for a in accs if a.is_write and a.reduce_op is None]
+        reads = [a for a in accs if not a.is_write or a.reduce_op]
+        if not reads:
+            continue
+        if not inits:
+            r = min(reads, key=lambda a: a.order)
+            what = "reduced into" if r.reduce_op else "read"
+            diags.append(
+                Diagnostic(
+                    "FT302", "error",
+                    f"{tensor!r} is {what} but never initialized: no "
+                    f"store to it anywhere in the program",
+                    stmt=r.stmt, tensor=tensor,
+                    path=ir_path(func, r.stmt.sid)))
+            continue
+        for r in reads:
+            if any(analyzer.pair_feasible(w, r) for w in inits):
+                continue  # some write can reach it; assume initialized
+            what = "reduction into" if r.reduce_op else "read of"
+            diags.append(
+                Diagnostic(
+                    "FT301", "error",
+                    f"{what} {tensor!r} before initialization: no store "
+                    f"to the same element can precede this access",
+                    stmt=r.stmt, tensor=tensor,
+                    path=ir_path(func, r.stmt.sid)))
+    return diags

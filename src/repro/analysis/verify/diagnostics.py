@@ -1,0 +1,226 @@
+"""Structured diagnostics shared by the verifier and schedule errors.
+
+A :class:`Diagnostic` carries a stable error code (``FT1xx`` bounds,
+``FT2xx`` parallelism, ``FT3xx`` def-use, ``FT4xx`` lint — see
+docs/DIAGNOSTICS.md), a severity, the offending statement's sid, its IR
+path (a breadcrumb of enclosing statements) and, when the frontend
+captured one, the Python source span the statement was staged from.
+
+:class:`Diagnostics` is the report container returned by
+``repro.verify(...)``; it renders findings with source-line carets and can
+raise a :class:`~repro.errors.VerificationError` when errors are present.
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+from typing import Iterable, List, Optional, Tuple
+
+from ...ir import stmt as S
+
+#: recognised severities, most severe first
+SEVERITIES = ("error", "warning", "info")
+SEVERITY_ORDER = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+class Diagnostic:
+    """One verifier finding, addressable by code / statement / source."""
+
+    __slots__ = ("code", "severity", "message", "sid", "span", "tensor",
+                 "path", "related", "source")
+
+    def __init__(self,
+                 code: str,
+                 severity: str,
+                 message: str,
+                 stmt: Optional[S.Stmt] = None,
+                 sid: Optional[str] = None,
+                 span: Optional[Tuple[str, int]] = None,
+                 tensor: Optional[str] = None,
+                 path: Tuple[str, ...] = (),
+                 related: Tuple[tuple, ...] = (),
+                 source=None):
+        if severity not in SEVERITY_ORDER:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.code = code
+        self.severity = severity
+        self.message = message
+        if stmt is not None:
+            sid = sid if sid is not None else stmt.sid
+            span = span if span is not None else stmt.span
+        self.sid = sid
+        self.span = span
+        #: tensor the finding is about, if any
+        self.tensor = tensor
+        #: breadcrumb of enclosing statements (outermost first)
+        self.path = tuple(path)
+        #: secondary locations: (sid, span, note) triples
+        self.related = tuple(related)
+        #: the analysis object backing the finding (e.g. a Dependence)
+        self.source = source
+
+    # -- rendering ----------------------------------------------------------
+    def location(self) -> str:
+        if self.span is not None:
+            fname, line = self.span
+            return f"{fname}:{line}"
+        return self.sid or "<unknown>"
+
+    def render(self, show_source: bool = True, base_dir: str = "") -> str:
+        """One finding as text, with a source caret when a span is known::
+
+            examples/x.py:12: error[FT101] store to 'y' out of bounds ...
+                y[i] = x[i + 1]
+                ^
+        """
+        loc = self.location()
+        if base_dir and self.span is not None:
+            try:
+                loc = f"{os.path.relpath(self.span[0], base_dir)}" \
+                      f":{self.span[1]}"
+            except ValueError:  # pragma: no cover - cross-drive paths
+                pass
+        head = f"{loc}: {self.severity}[{self.code}] {self.message}"
+        if self.path:
+            head += f"\n    in: {' > '.join(self.path)}"
+        out = [head]
+        if show_source and self.span is not None:
+            text = linecache.getline(*self.span)
+            if text:
+                stripped = text.strip()
+                out.append(f"    {stripped}")
+                out.append("    ^")
+        for sid, span, note in self.related:
+            where = f"{span[0]}:{span[1]}" if span else sid
+            out.append(f"    note: {note} at {where}")
+        return "\n".join(out)
+
+    def __repr__(self):
+        return f"<{self.severity}[{self.code}] {self.location()}: " \
+               f"{self.message}>"
+
+
+class Diagnostics:
+    """An ordered collection of findings for one function."""
+
+    def __init__(self, diags: Iterable[Diagnostic],
+                 func_name: Optional[str] = None):
+        self.diags: List[Diagnostic] = list(diags)
+        self.func_name = func_name
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diags if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diags if d.severity == "warning"]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diags)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diags if d.code == code]
+
+    @property
+    def codes(self) -> set:
+        return {d.code for d in self.diags}
+
+    def __iter__(self):
+        return iter(self.diags)
+
+    def __len__(self):
+        return len(self.diags)
+
+    def __bool__(self):
+        return bool(self.diags)
+
+    # -- rendering ----------------------------------------------------------
+    def summary(self) -> str:
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        name = f"{self.func_name}: " if self.func_name else ""
+        if not self.diags:
+            return f"{name}no findings"
+        return f"{name}{n_err} error(s), {n_warn} warning(s)"
+
+    def render(self, show_source: bool = True, base_dir: str = "") -> str:
+        if not self.diags:
+            return self.summary()
+        parts = [d.render(show_source, base_dir) for d in self.diags]
+        return "\n".join(parts + [self.summary()])
+
+    def raise_if_errors(self):
+        """Raise :class:`~repro.errors.VerificationError` on any error."""
+        if self.has_errors:
+            from ...errors import VerificationError
+
+            raise VerificationError(
+                f"verification failed: {self.summary()}\n"
+                + "\n".join(d.render() for d in self.errors),
+                diagnostics=self)
+
+    def __repr__(self):
+        return f"<Diagnostics {self.summary()}>"
+
+
+# ---------------------------------------------------------------------------
+# IR paths and schedule-error interop
+# ---------------------------------------------------------------------------
+
+
+def _describe(s: S.Stmt) -> str:
+    if isinstance(s, S.For):
+        return f"for {s.iter_var}"
+    if isinstance(s, S.If):
+        return "if"
+    if isinstance(s, S.VarDef):
+        return f"def {s.name}"
+    if isinstance(s, S.Assert):
+        return "assert"
+    if isinstance(s, (S.Store, S.ReduceTo)):
+        return f"write {s.var}"
+    if isinstance(s, S.LibCall):
+        return f"lib.{s.kind}"
+    return type(s).__name__.lower()
+
+
+def ir_path(root, sid: str) -> Tuple[str, ...]:
+    """Breadcrumb of enclosing statements down to ``sid`` (outermost
+    first), e.g. ``('def y', 'for i', 'if', 'write y')``. Empty when the
+    sid is not in the tree."""
+    node = root.body if isinstance(root, S.Func) else root
+
+    def walk(s, trail):
+        here = trail
+        if not isinstance(s, S.StmtSeq):
+            here = trail + (_describe(s),)
+        if s.sid == sid:
+            return here
+        for c in s.children_stmts():
+            hit = walk(c, here)
+            if hit is not None:
+                return hit
+        return None
+
+    return walk(node, ()) or ()
+
+
+def dependence_diagnostic(dep, code: str = "FT200",
+                          severity: str = "error",
+                          message: Optional[str] = None) -> Diagnostic:
+    """A :class:`Diagnostic` for an ``analysis.deps.Dependence`` — the
+    bridge that lets :class:`~repro.errors.DependenceViolation` carry the
+    same structured findings the verifier emits."""
+    if message is None:
+        message = (f"{dep.kind} dependence on {dep.tensor!r}: "
+                   f"{dep.earlier.stmt.sid} -> {dep.later.stmt.sid} "
+                   f"blocks the transformation")
+    earlier = dep.earlier.stmt
+    return Diagnostic(code, severity, message, stmt=dep.later.stmt,
+                      tensor=dep.tensor,
+                      related=((earlier.sid, earlier.span,
+                                "conflicting earlier access"),),
+                      source=dep)

@@ -1,0 +1,123 @@
+"""Lint analyses (codes FT401/FT402/FT403) — findings that do not make a
+program incorrect but almost always indicate a mistake or wasted work:
+
+- **FT401** dead write: a write to a ``cache`` tensor that no read can
+  ever observe (the value is computed and thrown away);
+- **FT402** unused tensor: a ``cache`` ``VarDef`` that is never accessed
+  at all;
+- **FT403** empty loop: a loop with a provably-zero trip count or an
+  empty body (only the outermost such loop is reported).
+
+All lint findings are warnings. Writes to ``input``/``output``/``inout``
+tensors are externally observable and never counted dead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ir import AccessType, IntConst
+from ...ir import stmt as S
+from ..deps import DepAnalyzer
+from .diagnostics import Diagnostic, ir_path
+
+
+def _empty_body(s: S.Stmt) -> bool:
+    return isinstance(s, S.StmtSeq) and not s.stmts
+
+
+def _check_loops(func: S.Func) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+
+    def walk(s: S.Stmt):
+        if isinstance(s, S.For):
+            if isinstance(s.begin, IntConst) and isinstance(s.end, IntConst) \
+                    and s.end.val <= s.begin.val:
+                diags.append(
+                    Diagnostic(
+                        "FT403", "warning",
+                        f"loop over '{s.iter_var}' runs zero iterations "
+                        f"(range [{s.begin.val}, {s.end.val}))",
+                        stmt=s, path=ir_path(func, s.sid)))
+                return  # report only the outermost dead loop
+            if _empty_body(s.body):
+                diags.append(
+                    Diagnostic(
+                        "FT403", "warning",
+                        f"loop over '{s.iter_var}' has an empty body",
+                        stmt=s, path=ir_path(func, s.sid)))
+                return
+        for c in s.children_stmts():
+            walk(c)
+
+    walk(func.body)
+    return diags
+
+
+def check_lint(func: S.Func) -> List[Diagnostic]:
+    """All lint findings for one function."""
+    diags = _check_loops(func)
+    analyzer = DepAnalyzer(func)
+    accessed = set(a.tensor for a in analyzer.accesses)
+
+    # FT402: cache tensors never accessed at all.
+    def find_defs(s: S.Stmt):
+        if isinstance(s, S.VarDef):
+            if s.atype is AccessType.CACHE and s.init_data is None \
+                    and s.name not in accessed:
+                diags.append(
+                    Diagnostic(
+                        "FT402", "warning",
+                        f"tensor {s.name!r} is allocated but never used",
+                        stmt=s, tensor=s.name,
+                        path=ir_path(func, s.sid)))
+        for c in s.children_stmts():
+            find_defs(c)
+
+    find_defs(func.body)
+
+    # FT401: writes to cache tensors that no read can observe.
+    cache_names = {
+        name for name, vd in _cache_defs(func).items()
+    }
+    by_tensor = {}
+    for a in analyzer.accesses:
+        if a.tensor in cache_names:
+            by_tensor.setdefault(a.tensor, []).append(a)
+    for tensor, accs in by_tensor.items():
+        writes = [a for a in accs if a.is_write]
+        loads = [a for a in accs if not a.is_write]
+        if not writes:
+            continue
+        if not loads:
+            w = min(writes, key=lambda a: a.order)
+            diags.append(
+                Diagnostic(
+                    "FT401", "warning",
+                    f"{tensor!r} is written but never read; the writes "
+                    f"are dead",
+                    stmt=w.stmt, tensor=tensor,
+                    path=ir_path(func, w.stmt.sid)))
+            continue
+        for w in writes:
+            if any(analyzer.pair_feasible(w, r) for r in loads):
+                continue
+            kind = "reduction into" if w.reduce_op else "write to"
+            diags.append(
+                Diagnostic(
+                    "FT401", "warning",
+                    f"dead {kind} {tensor!r}: no later read can observe "
+                    f"this value",
+                    stmt=w.stmt, tensor=tensor,
+                    path=ir_path(func, w.stmt.sid)))
+    return diags
+
+
+def _cache_defs(func: S.Func):
+    from ...ir import defined_tensors
+
+    return {
+        name: vd
+        for name, vd in defined_tensors(func.body).items()
+        if vd.atype is AccessType.CACHE
+    }

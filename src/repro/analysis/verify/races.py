@@ -1,0 +1,108 @@
+"""Parallel race detector (codes FT201/FT202/FT203).
+
+For every loop annotated ``parallel`` (by ``Schedule.parallelize``, the
+auto-scheduler, or hand-written IR), the detector re-runs the dependence
+query that legality checking performs at schedule time — a cross-iteration
+(``!=`` direction) query with reduction pairs *included* — and classifies
+every witnessed dependence:
+
+- **FT203**: the dependence crosses threads whose memory scope cannot even
+  observe each other's copy of the tensor (``gpu/local`` across any
+  parallel threads, ``gpu/shared`` across ``blockIdx`` blocks);
+- **FT202**: both endpoints are the same-operator reduction, which is
+  semantically legal in parallel *iff* the update is atomic — reported
+  when a ``ReduceTo`` involved is not marked atomic;
+- **FT201**: any other cross-thread dependence — a true data race.
+
+This is independent of whatever verdict was reached when the annotation
+was introduced: the verifier replays the analysis on the IR as it stands
+now, so races introduced by later rewrites (or hand edits) are caught.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ir import MemType, collect_stmts, defined_tensors
+from ...ir import stmt as S
+from ..deps import DepAnalyzer, Dependence, DirItem
+from .diagnostics import Diagnostic, ir_path
+
+
+def _scope_violation(kind: str, mtype: MemType) -> str:
+    """Why this (parallel kind, memory type) pair cannot carry a
+    dependence at all, or '' if the scope is fine."""
+    if mtype is MemType.GPU_LOCAL and kind.startswith("cuda."):
+        return "gpu/local memory is private to each thread"
+    if mtype is MemType.GPU_SHARED and kind.startswith("cuda.blockIdx"):
+        return "gpu/shared memory is private to each thread block"
+    return ""
+
+
+def _classify(dep: Dependence, loop: S.For, defs) -> Diagnostic:
+    kind = loop.property.parallel
+    vd = defs.get(dep.tensor)
+    mtype = vd.mtype if vd is not None else None
+    earlier, later = dep.earlier, dep.later
+
+    scope = _scope_violation(kind, mtype) if mtype is not None else ""
+    if scope:
+        return Diagnostic(
+            "FT203", "error",
+            f"dependence on {dep.tensor!r} ({mtype}) crosses iterations "
+            f"of parallel loop '{loop.iter_var}' ({kind}), but {scope}",
+            stmt=later.stmt, tensor=dep.tensor)
+
+    is_reduce_pair = (earlier.reduce_op is not None
+                      and earlier.reduce_op == later.reduce_op)
+    if is_reduce_pair:
+        non_atomic = [
+            s for s in dict.fromkeys((earlier.stmt, later.stmt))
+            if isinstance(s, S.ReduceTo) and not s.atomic
+        ]
+        if not non_atomic:
+            return None  # atomic parallel reduction: legal
+        s = non_atomic[0]
+        return Diagnostic(
+            "FT202", "error",
+            f"parallel reduction into {dep.tensor!r} is not atomic: "
+            f"iterations of '{loop.iter_var}' ({kind}) update the same "
+            f"element with '{s.op}=' concurrently; updates may be lost",
+            stmt=s, tensor=dep.tensor)
+
+    return Diagnostic(
+        "FT201", "error",
+        f"data race on {dep.tensor!r}: {dep.kind} dependence between "
+        f"different iterations of parallel loop '{loop.iter_var}' "
+        f"({kind})",
+        stmt=later.stmt, tensor=dep.tensor,
+        related=((earlier.stmt.sid, earlier.stmt.span,
+                  "conflicting access"),),
+        source=dep)
+
+
+def check_races(func: S.Func) -> List[Diagnostic]:
+    """All race findings for one function."""
+    loops = collect_stmts(
+        func.body, lambda s: isinstance(s, S.For) and s.property.parallel)
+    if not loops:
+        return []
+    defs = defined_tensors(func.body)
+    analyzer = DepAnalyzer(func)
+    diags: List[Diagnostic] = []
+    seen = set()
+    for loop in loops:
+        deps = analyzer.find(
+            direction=[DirItem.same_loop(loop.sid, "!=")],
+            ignore_reduce_pairs=False)
+        for dep in deps:
+            d = _classify(dep, loop, defs)
+            if d is None:
+                continue
+            key = (d.code, loop.sid, d.tensor, d.sid)
+            if key in seen:
+                continue
+            seen.add(key)
+            d.path = ir_path(func, d.sid)
+            diags.append(d)
+    return diags

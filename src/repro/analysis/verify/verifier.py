@@ -1,0 +1,83 @@
+"""The whole-program verifier driver: run every analysis, filter, sort.
+
+``verify(func)`` works on any IR ``Func`` — freshly staged, mid-schedule,
+or post-lowering — and on a frontend ``Program``. It returns a
+:class:`~repro.analysis.verify.diagnostics.Diagnostics` report; it never
+raises on findings (call ``report.raise_if_errors()`` for that, or build
+with ``verify=True`` / ``REPRO_VERIFY=1`` to gate compilation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ...ir import stmt as S
+from .bounds_check import check_bounds
+from .defuse import check_defuse
+from .diagnostics import SEVERITY_ORDER, Diagnostic, Diagnostics
+from .lint import check_lint
+from .races import check_races
+
+#: analysis registry, in report order
+ANALYSES = (
+    ("bounds", check_bounds),
+    ("races", check_races),
+    ("defuse", check_defuse),
+    ("lint", check_lint),
+)
+
+
+def _as_func(func_or_program) -> S.Func:
+    if isinstance(func_or_program, S.Func):
+        return func_or_program
+    # Lazy: the frontend imports analysis pieces at staging time.
+    from ...frontend.staging import Program
+
+    if isinstance(func_or_program, Program):
+        return func_or_program.func
+    raise TypeError(
+        f"verify() needs a Func or Program, got "
+        f"{type(func_or_program).__name__}")
+
+
+def _sort_key(d: Diagnostic):
+    span = d.span if d.span is not None else ("￿", 1 << 30)
+    return (SEVERITY_ORDER[d.severity], span[0], span[1], d.code,
+            d.sid or "")
+
+
+def verify(func_or_program,
+           level: str = "warning",
+           analyses: Optional[Iterable[str]] = None) -> Diagnostics:
+    """Statically verify one function; return the findings.
+
+    ``level`` is the least severe finding to keep (``"error"`` silences
+    warnings). ``analyses`` restricts to a subset of
+    ``("bounds", "races", "defuse", "lint")``; default is all of them.
+    """
+    func = _as_func(func_or_program)
+    if level not in SEVERITY_ORDER:
+        raise ValueError(
+            f"unknown level {level!r}; choose from "
+            f"{tuple(SEVERITY_ORDER)}")
+    if analyses is not None:
+        analyses = tuple(analyses)
+        known = {name for name, _ in ANALYSES}
+        bad = set(analyses) - known
+        if bad:
+            raise ValueError(
+                f"unknown analyses {sorted(bad)}; choose from "
+                f"{sorted(known)}")
+    diags: List[Diagnostic] = []
+    for name, check in ANALYSES:
+        if analyses is not None and name not in analyses:
+            continue
+        diags.extend(check(func))
+    max_rank = SEVERITY_ORDER[level]
+    diags = [d for d in diags if SEVERITY_ORDER[d.severity] <= max_rank]
+    diags.sort(key=_sort_key)
+    report = Diagnostics(diags, func_name=func.name)
+    from ...runtime import metrics
+
+    metrics.record_verifier_run(len(report.errors), len(report.warnings))
+    return report

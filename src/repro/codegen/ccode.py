@@ -437,6 +437,25 @@ class CCodegen:
             ok.discard(w.var)
         return {v: ops[v] for v in ok}
 
+    @staticmethod
+    def _simd_body_ok(body) -> bool:
+        """Whether a vectorized loop body stays legal under ``omp simd``.
+
+        gcc only allows ``ordered simd``/``simd``/``loop``/``atomic``
+        constructs inside a simd region; a nested ``parallel for`` or the
+        ``critical`` a min/max atomic lowers to must instead drop the simd
+        pragma (it is an optimization hint, a plain loop is always correct).
+        """
+        from ..ir import collect_stmts
+
+        for x in collect_stmts(body, lambda x: True):
+            if isinstance(x, S.For) and x.property.parallel:
+                return False
+            if isinstance(x, S.ReduceTo) and x.atomic \
+                    and x.op in ("min", "max"):
+                return False
+        return True
+
     def _gen_for(self, s: S.For, indent: int):
         it = self.mangle(s.iter_var)
         released = set()
@@ -462,7 +481,8 @@ class CCodegen:
                 released.add(var)
             self.line(indent, pragma)
         elif s.property.vectorize:
-            self.line(indent, "#pragma omp simd")
+            if self._simd_body_ok(s.body):
+                self.line(indent, "#pragma omp simd")
         elif s.property.unroll:
             self.line(indent, "#pragma GCC unroll 8")
         self.line(indent,

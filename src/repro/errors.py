@@ -29,11 +29,39 @@ class InvalidSchedule(FreeTensorError):
 
 
 class DependenceViolation(InvalidSchedule):
-    """An :class:`InvalidSchedule` specifically caused by a dependence."""
+    """An :class:`InvalidSchedule` specifically caused by a dependence.
+
+    ``dependences`` holds the blocking dependences as the same structured
+    ``Diagnostic`` objects the verifier (``repro.verify``) emits — each
+    carries an error code (``FT200``), the offending statement's sid and
+    Python source span, and the underlying ``Dependence`` object in its
+    ``source`` attribute. The raw ``Dependence`` tuple is kept in
+    ``raw_dependences``.
+    """
 
     def __init__(self, message: str, dependences=()):
         super().__init__(message)
-        self.dependences = tuple(dependences)
+        raw = tuple(dependences)
+        self.raw_dependences = raw
+        from .analysis.verify.diagnostics import dependence_diagnostic
+
+        self.dependences = tuple(dependence_diagnostic(d) for d in raw)
+
+    def render(self) -> str:
+        """The message plus every blocking dependence with source spans."""
+        parts = [str(self)]
+        parts.extend(d.render() for d in self.dependences)
+        return "\n".join(parts)
+
+
+class VerificationError(FreeTensorError):
+    """Raised when ``repro.verify`` (or a ``build(..., verify=True)``
+    gate) finds error-severity diagnostics. ``diagnostics`` is the full
+    :class:`~repro.analysis.verify.diagnostics.Diagnostics` report."""
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class ADError(FreeTensorError):

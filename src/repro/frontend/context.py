@@ -15,13 +15,14 @@ from typing import Dict, List, Optional
 from ..errors import StagingError
 from ..ir import (AccessType, DataType, For, ForProperty, If, MemType, Stmt,
                   StmtSeq, VarDef, Var, Expr, wrap, seq)
+from .source import current_span
 
 
 class _VarMarker:
     """Placeholder for a VarDef opened mid-scope."""
 
     __slots__ = ("name", "shape", "dtype", "atype", "mtype", "pinned",
-                 "label", "closed", "init_data", "fresh_unbound")
+                 "label", "closed", "init_data", "fresh_unbound", "span")
 
     def __init__(self, name, shape, dtype, atype, mtype, pinned, label):
         self.name = name
@@ -37,15 +38,18 @@ class _VarMarker:
         #: it renames the tensor in place instead of copying (the user holds
         #: no other reference, so copy-by-value semantics are preserved)
         self.fresh_unbound = False
+        #: Python source span of the definition site
+        self.span = current_span()
 
 
 class _AssertMarker:
     """Placeholder for an Assert covering the rest of its scope."""
 
-    __slots__ = ("cond",)
+    __slots__ = ("cond", "span")
 
     def __init__(self, cond):
         self.cond = cond
+        self.span = current_span()
 
 
 class Builder:
@@ -101,13 +105,16 @@ class Builder:
                             item.mtype, inner, item.pinned, label=item.label)
                 if item.init_data is not None:
                     vd.init_data = item.init_data
+                vd.span = item.span
                 out.append(vd)
                 break
             if isinstance(item, _AssertMarker):
                 from ..ir import Assert
 
                 inner = self._build_scope(items[pos + 1:])
-                out.append(Assert(item.cond, inner))
+                stmt = Assert(item.cond, inner)
+                stmt.span = item.span
+                out.append(stmt)
                 break
             out.append(item)
         if len(out) == 1:
@@ -117,6 +124,8 @@ class Builder:
     def emit(self, stmt: Stmt):
         if stmt.label is None and self._pending_label is not None:
             stmt.label = self.take_label()
+        if stmt.span is None:
+            stmt.span = current_span()
         self._scopes[-1].append(stmt)
 
     def assert_stmt(self, cond):
@@ -197,12 +206,15 @@ class Builder:
         begin, end = wrap(begin), wrap(end)
         if label is None:
             label = self.take_label()
+        span = current_span()  # the `for` line, not the end of the body
         if step == 1:
             it = self.fresh(name_hint)
             self.open_scope()
             yield Var(it)
             body = self.close_scope()
-            self.emit(For(it, begin, end, body, label=label))
+            loop = For(it, begin, end, body, label=label)
+            loop.span = span
+            self.emit(loop)
             return
         if not isinstance(step, int) or step == 0:
             raise StagingError("loop step must be a non-zero Python int")
@@ -214,16 +226,21 @@ class Builder:
         self.open_scope()
         yield begin + Var(it) * step
         body = self.close_scope()
-        self.emit(For(it, 0, trip, body, label=label))
+        loop = For(it, 0, trip, body, label=label)
+        loop.span = span
+        self.emit(loop)
 
     @contextmanager
     def if_stmt(self, cond, label: Optional[str] = None):
         if label is None:
             label = self.take_label()
+        span = current_span()  # the `if` line
         self.open_scope()
         yield
         body = self.close_scope()
-        self.emit(If(wrap(cond), body, label=label))
+        stmt = If(wrap(cond), body, label=label)
+        stmt.span = span
+        self.emit(stmt)
 
     @contextmanager
     def else_stmt(self):

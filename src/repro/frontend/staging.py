@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 from ..errors import StagingError
 from ..ir import Expr, Func, IntConst, Var, wrap
 from .context import Builder
+from .source import register_staged
 from .tensor import (Size, Tensor, TensorRef, _TensorAnnotation, as_expr,
                      ft_abs, ft_max, ft_min)
 
@@ -525,6 +526,18 @@ class _Rewriter(ast.NodeTransformer):
     def __init__(self):
         self._tmp = 0
 
+    def visit(self, node):
+        # Replacement nodes inherit the original node's source location, so
+        # the compiled code (and the spans captured from it) points at the
+        # user's line, not at whatever fix_missing_locations would guess.
+        out = super().visit(node)
+        if hasattr(node, "lineno"):
+            for new in out if isinstance(out, list) else (out,):
+                if isinstance(new, ast.AST) and isinstance(
+                        new, (ast.stmt, ast.expr)):
+                    ast.copy_location(new, node)
+        return out
+
     def _fresh(self) -> str:
         self._tmp += 1
         return f"__ft_c{self._tmp}"
@@ -707,7 +720,22 @@ def _rewrite_function(fn) -> "function":
         a.annotation = None
     fdef.returns = None
     ast.fix_missing_locations(tree)
-    code = compile(tree, filename=f"<staged {fn.__name__}>", mode="exec")
+    # Compile against the real source file with the original line numbers:
+    # `getsource` starts at the decorator, whose line is co_firstlineno, so
+    # shifting the parsed tree realigns every node with the file on disk.
+    # Statements staged from these code objects then carry usable spans
+    # (see frontend.source and the `span` attribute on IR statements).
+    filename = None
+    try:
+        filename = inspect.getsourcefile(fn)
+    except TypeError:  # pragma: no cover - builtins etc.
+        pass
+    if filename is None:  # pragma: no cover - env-specific
+        filename = f"<staged {fn.__name__}>"
+    first_line = getattr(fn.__code__, "co_firstlineno", 1)
+    if first_line > 1:
+        ast.increment_lineno(tree, first_line - 1)
+    code = compile(tree, filename=filename, mode="exec")
 
     if fn.__closure__:
         namespace = dict(fn.__globals__)
@@ -722,6 +750,7 @@ def _rewrite_function(fn) -> "function":
     exec(code, namespace)
     staged = namespace.pop(fn.__name__)
     staged.__ft_namespace__ = namespace
+    register_staged(staged.__code__)
     return staged
 
 

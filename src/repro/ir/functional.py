@@ -75,9 +75,12 @@ def fresh_copy(stmt: S.Stmt) -> S.Stmt:
     class Copier(Mutator):
 
         def mutate_stmt(self, s):
+            span = s.span
             out = super().generic_mutate_stmt(s)
             out.sid = S.fresh_sid()
             out.label = None
+            if span is not None:
+                out.span = span  # the copy still comes from the same line
             return out
 
     return Copier()(stmt)

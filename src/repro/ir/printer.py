@@ -7,6 +7,7 @@ back by ``repro.ir.parser`` for round-trip testing.
 from __future__ import annotations
 
 import math
+import os
 
 from . import expr as E
 from . import stmt as S
@@ -74,21 +75,29 @@ def _label_prefix(s: S.Stmt) -> str:
     return f"{s.label}: " if s.label else ""
 
 
-def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False) -> str:
-    """Render a statement tree as an indented block of pseudo-code."""
+def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False,
+              show_spans: bool = False) -> str:
+    """Render a statement tree as an indented block of pseudo-code.
+
+    ``show_ids`` annotates every statement with its sid; ``show_spans``
+    annotates statements with their captured Python source location.
+    """
     pad = "  " * indent
     idc = f"  /* {s.sid} */" if show_ids else ""
+    if show_spans and s.span is not None:
+        fname, line = s.span
+        idc += f"  /* {os.path.basename(fname)}:{line} */"
     lp = _label_prefix(s)
 
     if isinstance(s, S.StmtSeq):
         if not s.stmts:
             return f"{pad}{lp}{{}}{idc}\n"
-        return "".join(print_ast(c, indent, show_ids) for c in s.stmts)
+        return "".join(print_ast(c, indent, show_ids, show_spans) for c in s.stmts)
     if isinstance(s, S.VarDef):
         shape = ", ".join(print_expr(d) for d in s.shape)
         head = (f"{pad}{lp}@{s.atype} {s.name}: {s.dtype}[{shape}]"
                 f" @{s.mtype} {{{idc}\n")
-        return head + print_ast(s.body, indent + 1, show_ids) + f"{pad}}}\n"
+        return head + print_ast(s.body, indent + 1, show_ids, show_spans) + f"{pad}}}\n"
     if isinstance(s, S.For):
         props = []
         if s.property.parallel:
@@ -100,13 +109,13 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False) -> str:
         head = (f"{pad}{lp}for {s.iter_var} in "
                 f"{print_expr(s.begin)}:{print_expr(s.end)}"
                 f"{''.join(props)} {{{idc}\n")
-        return head + print_ast(s.body, indent + 1, show_ids) + f"{pad}}}\n"
+        return head + print_ast(s.body, indent + 1, show_ids, show_spans) + f"{pad}}}\n"
     if isinstance(s, S.If):
         out = (f"{pad}{lp}if {print_expr(s.cond)} {{{idc}\n" +
-               print_ast(s.then_case, indent + 1, show_ids) + f"{pad}}}")
+               print_ast(s.then_case, indent + 1, show_ids, show_spans) + f"{pad}}}")
         if s.else_case is not None:
             out += " else {\n" + print_ast(s.else_case, indent + 1,
-                                           show_ids) + f"{pad}}}"
+                                           show_ids, show_spans) + f"{pad}}}"
         return out + "\n"
     if isinstance(s, S.Store):
         target = s.var
@@ -126,7 +135,7 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False) -> str:
         return f"{pad}{lp}eval {print_expr(s.expr)}{idc}\n"
     if isinstance(s, S.Assert):
         return (f"{pad}{lp}assert {print_expr(s.cond)} {{{idc}\n" +
-                print_ast(s.body, indent + 1, show_ids) + f"{pad}}}\n")
+                print_ast(s.body, indent + 1, show_ids, show_spans) + f"{pad}}}\n")
     if isinstance(s, S.Alloc):
         return f"{pad}alloc {s.var}{idc}\n"
     if isinstance(s, S.Free):
@@ -139,14 +148,15 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False) -> str:
     raise TypeError(f"cannot print {type(s).__name__}")  # pragma: no cover
 
 
-def dump(node, show_ids: bool = False) -> str:
+def dump(node, show_ids: bool = False, show_spans: bool = False) -> str:
     """Render a :class:`Func`, statement or expression to text."""
     if isinstance(node, S.Func):
         params = list(node.params) + list(node.scalar_params)
         header = f"func {node.name}({', '.join(params)})"
         if node.returns:
             header += f" -> {', '.join(node.returns)}"
-        return header + " {\n" + print_ast(node.body, 1, show_ids) + "}\n"
+        return header + " {\n" + \
+            print_ast(node.body, 1, show_ids, show_spans) + "}\n"
     if isinstance(node, S.Stmt):
-        return print_ast(node, 0, show_ids)
+        return print_ast(node, 0, show_ids, show_spans)
     return print_expr(node)

@@ -13,7 +13,7 @@ schedules address statements through either (see ``repro.schedule``).
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from .dtype import AccessType, DataType, MemType
 from .expr import Expr, IntConst, wrap
@@ -26,6 +26,20 @@ def fresh_sid() -> str:
     return f"#{next(_sid_counter)}"
 
 
+#: Python source spans by statement id: sid -> (filename, line). Keyed by
+#: sid rather than stored on the node so spans survive every transformation
+#: that preserves statement identity (``Mutator._copy_identity`` and the
+#: schedules' manual sid copies) without each rewrite threading the span
+#: through. Content hashing (``ir.hashing``) never reads spans, so the
+#: compile-path caches are unaffected.
+_SPANS: Dict[str, Tuple[str, int]] = {}
+
+
+def clear_spans():
+    """Drop all recorded source spans (testing aid)."""
+    _SPANS.clear()
+
+
 class Stmt:
     """Base class of all IR statements."""
 
@@ -34,6 +48,22 @@ class Stmt:
     def __init__(self, label: Optional[str] = None):
         self.sid = fresh_sid()
         self.label = label
+
+    @property
+    def span(self) -> Optional[Tuple[str, int]]:
+        """Python source location ``(filename, line)``, or None.
+
+        Captured by the frontend while staging; follows the statement's
+        ``sid`` through schedules and lowering passes.
+        """
+        return _SPANS.get(self.sid)
+
+    @span.setter
+    def span(self, value: Optional[Tuple[str, int]]):
+        if value is None:
+            _SPANS.pop(self.sid, None)
+        else:
+            _SPANS[self.sid] = (str(value[0]), int(value[1]))
 
     def children_stmts(self) -> Sequence["Stmt"]:
         """Direct sub-statements."""

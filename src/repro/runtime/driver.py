@@ -177,10 +177,13 @@ class Executable:
             vd = self._defs[name]
             if arr.ndim != vd.ndim:
                 raise InvalidProgram(
-                    f"parameter {name!r} expects {vd.ndim}-D data, got "
-                    f"{arr.ndim}-D")
-            for dim_expr, actual in zip(vd.shape, arr.shape):
-                self._unify(dim_expr, int(actual), sc, name)
+                    f"parameter {name!r} expects {vd.ndim}-D {vd.dtype} "
+                    f"data of shape ({self._shape_str(vd)}), got "
+                    f"{arr.ndim}-D {arr.dtype} of shape "
+                    f"{tuple(arr.shape)}")
+            for dim, (dim_expr, actual) in enumerate(zip(vd.shape,
+                                                         arr.shape)):
+                self._unify(dim_expr, int(actual), sc, name, dim)
         # Verify every dim and scalar is now known.
         for p in self.func.scalar_params:
             if p not in sc:
@@ -198,8 +201,9 @@ class Executable:
             expect = tuple(self._eval_dim(d, sc) for d in vd.shape)
             if tuple(arr.shape) != expect:
                 raise InvalidProgram(
-                    f"parameter {name!r}: shape {arr.shape} does not match "
-                    f"declared {expect}")
+                    f"parameter {name!r} expects {vd.dtype} data of shape "
+                    f"{expect} (declared ({self._shape_str(vd)})), got "
+                    f"{arr.dtype} of shape {tuple(arr.shape)}")
             env[name] = arr
         env.update(sc)
         # Allocate outputs.
@@ -212,18 +216,27 @@ class Executable:
         return env
 
     @staticmethod
-    def _unify(dim_expr: Expr, actual: int, sc: Dict[str, int], pname: str):
+    def _shape_str(vd: VarDef) -> str:
+        from ..ir.printer import print_expr
+
+        return ", ".join(print_expr(d) for d in vd.shape)
+
+    @staticmethod
+    def _unify(dim_expr: Expr, actual: int, sc: Dict[str, int], pname: str,
+               dim: int):
         if isinstance(dim_expr, Var):
             prev = sc.setdefault(dim_expr.name, actual)
             if prev != actual:
                 raise InvalidProgram(
-                    f"conflicting sizes for {dim_expr.name!r}: {prev} vs "
-                    f"{actual} (from parameter {pname!r})")
+                    f"conflicting sizes for shape variable "
+                    f"{dim_expr.name!r}: dimension {dim} of parameter "
+                    f"{pname!r} is {actual}, but an earlier parameter "
+                    f"implies {prev}")
         elif isinstance(dim_expr, IntConst):
             if dim_expr.val != actual:
                 raise InvalidProgram(
-                    f"parameter {pname!r}: dimension expects {dim_expr.val}, "
-                    f"got {actual}")
+                    f"parameter {pname!r}: dimension {dim} expects extent "
+                    f"{dim_expr.val}, got {actual}")
         # Composite dimension expressions are checked after inference.
 
     def _eval_dim(self, d: Expr, sc: Dict[str, int]) -> int:
@@ -276,25 +289,36 @@ def build(program_or_func,
           backend: str = "pycode",
           optimize: bool = False,
           target=None,
+          verify: Optional[bool] = None,
           **opts) -> Executable:
     """Compile a staged program (or a raw Func) into an Executable.
 
     ``optimize=True`` runs the standard lowering pipeline and the rule-based
     auto-schedule for ``target`` before code generation (see
     ``repro.autosched``).
+
+    ``verify=True`` runs the whole-program verifier (``repro.verify``) on
+    the scheduled/lowered IR before code generation and raises
+    :class:`~repro.errors.VerificationError` on any error-severity finding.
+    The default (``None``) obeys the ``REPRO_VERIFY=1`` environment gate.
     """
     func = _as_func(program_or_func)
+    want_verify = bool(verify) if verify is not None \
+        else os.environ.get("REPRO_VERIFY", "") == "1"
     key = None
     if os.environ.get("REPRO_NO_BUILD_CACHE", "") != "1":
+        # want_verify is part of the key: a cached unverified Executable
+        # must not satisfy a verifying build (or vice versa).
         key = _build_cache_key(func, backend, optimize, target, opts)
-        if key is None:
-            _BUILD_STATS["uncacheable"] += 1
-        else:
+        if key is not None:
+            key = key + (want_verify,)
             hit = _BUILD_CACHE.get(key)
             if hit is not None:
                 _BUILD_STATS["hits"] += 1
                 return hit
             _BUILD_STATS["misses"] += 1
+        else:
+            _BUILD_STATS["uncacheable"] += 1
     times: Dict[str, float] = {}
     t0 = time.perf_counter()
     if optimize:
@@ -307,6 +331,12 @@ def build(program_or_func,
 
         func = lower(func)
         times["lower"] = time.perf_counter() - t0
+    if want_verify:
+        from ..analysis.verify import verify as run_verifier
+
+        t0 = time.perf_counter()
+        run_verifier(func).raise_if_errors()
+        times["verify"] = time.perf_counter() - t0
     try:
         builder = _BACKENDS[backend]
     except KeyError:

@@ -33,6 +33,40 @@ from ..ir import (AccessType, Expr, For, Func, MemType, Stmt, StmtSeq,
 SECTOR = 32
 LINE = 64
 
+# ---------------------------------------------------------------------------
+# Verifier pass/fail counters (published by the CI verify-workloads job)
+# ---------------------------------------------------------------------------
+
+_VERIFIER_STATS = {
+    "runs": 0,
+    "passed": 0,
+    "failed": 0,
+    "errors": 0,
+    "warnings": 0,
+}
+
+
+def record_verifier_run(n_errors: int, n_warnings: int):
+    """Account one ``repro.verify`` run; a run with any error-severity
+    finding counts as failed."""
+    _VERIFIER_STATS["runs"] += 1
+    _VERIFIER_STATS["errors"] += int(n_errors)
+    _VERIFIER_STATS["warnings"] += int(n_warnings)
+    if n_errors:
+        _VERIFIER_STATS["failed"] += 1
+    else:
+        _VERIFIER_STATS["passed"] += 1
+
+
+def verifier_stats() -> Dict[str, int]:
+    """Cumulative verifier counters for this process."""
+    return dict(_VERIFIER_STATS)
+
+
+def reset_verifier_stats():
+    for k in _VERIFIER_STATS:
+        _VERIFIER_STATS[k] = 0
+
 
 class MetricsCollector:
     """Counts events reported by the interpreter / simulated device."""

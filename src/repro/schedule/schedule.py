@@ -65,6 +65,20 @@ class Schedule:
         """All loops, in pre-order."""
         return self.find_all(lambda s: isinstance(s, For))
 
+    def verify(self, level: str = "warning"):
+        """Run the whole-program verifier (``repro.verify``) on the
+        current state of the schedule and return its
+        :class:`~repro.analysis.verify.diagnostics.Diagnostics` report.
+
+        Useful for cross-validating a sequence of transformations: every
+        primitive already checks its own legality, but ``verify()``
+        re-derives races, bounds and def-use facts from the tree as it
+        stands, independent of the per-primitive verdicts.
+        """
+        from ..analysis.verify import verify as run_verifier
+
+        return run_verifier(self.func, level=level)
+
     def fork(self) -> "Schedule":
         """An independent copy (for trying alternative schedules)."""
         out = Schedule(self.func)

@@ -1,0 +1,136 @@
+"""CLI: ``python -m repro.verify <target> [...]``.
+
+Targets are paper workload names (``subdivnet``, ``longformer``,
+``softras``, ``gat``), the word ``all``, or paths to Python files that
+define staged programs (every ``repro.Program`` found in the file's
+namespace is verified).
+
+Exits non-zero iff any target has error-severity findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Tuple
+
+from ..analysis.verify import verify
+from ..frontend.staging import Program
+
+
+def _workload_targets(names) -> List[Tuple[str, object]]:
+    from ..workloads import ALL
+
+    out = []
+    for name in names:
+        if name not in ALL:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from "
+                f"{sorted(ALL)} or pass a .py file")
+        out.append((name, ALL[name].make_program()))
+    return out
+
+
+def _file_targets(path: str) -> List[Tuple[str, object]]:
+    namespace = {"__name__": f"<verify {os.path.basename(path)}>",
+                 "__file__": os.path.abspath(path)}
+    with open(path) as f:
+        code = compile(f.read(), os.path.abspath(path), "exec")
+    exec(code, namespace)
+    out = [(f"{os.path.basename(path)}:{k}", v)
+           for k, v in namespace.items() if isinstance(v, Program)]
+    if not out:
+        raise SystemExit(f"{path}: no staged repro.Program objects found")
+    return out
+
+
+def _diag_json(d) -> dict:
+    return {
+        "code": d.code,
+        "severity": d.severity,
+        "message": d.message,
+        "sid": d.sid,
+        "file": d.span[0] if d.span else None,
+        "line": d.span[1] if d.span else None,
+        "tensor": d.tensor,
+        "path": list(d.path),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Statically verify staged programs "
+                    "(bounds, races, def-use, lint).")
+    parser.add_argument("targets", nargs="+",
+                        help="workload names, 'all', or .py files")
+    parser.add_argument("--level", default="warning",
+                        choices=("error", "warning", "info"),
+                        help="least severe finding to report")
+    parser.add_argument("--optimize", action="store_true",
+                        help="auto-schedule each program before verifying "
+                             "(checks the IR the backends actually see)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    parser.add_argument("--no-source", action="store_true",
+                        help="do not print source lines under findings")
+    args = parser.parse_args(argv)
+
+    names: List[str] = []
+    files: List[str] = []
+    for t in args.targets:
+        if t == "all":
+            from ..workloads import ALL
+
+            names.extend(n for n in sorted(ALL) if n not in names)
+        elif t.endswith(".py") or os.path.sep in t:
+            files.append(t)
+        else:
+            names.append(t)
+
+    targets = _workload_targets(names)
+    for path in files:
+        targets.extend(_file_targets(path))
+
+    failed = 0
+    json_out = []
+    for name, prog in targets:
+        func = prog.func
+        if args.optimize:
+            from ..autosched import auto_schedule
+
+            func = auto_schedule(func)
+        report = verify(func, level=args.level)
+        if report.has_errors:
+            failed += 1
+        if args.as_json:
+            json_out.append({
+                "target": name,
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "findings": [_diag_json(d) for d in report.diags],
+            })
+        else:
+            print(f"== {name} ==")
+            print(report.render(show_source=not args.no_source,
+                                base_dir=os.getcwd()))
+            print()
+
+    from ..runtime.metrics import verifier_stats
+
+    if args.as_json:
+        print(json.dumps({"targets": json_out,
+                          "stats": verifier_stats()}, indent=2))
+    else:
+        stats = verifier_stats()
+        print(f"verified {stats['runs']} function(s): "
+              f"{stats['passed']} passed, {stats['failed']} failed "
+              f"({stats['errors']} error(s), "
+              f"{stats['warnings']} warning(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
