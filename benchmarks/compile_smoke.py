@@ -28,6 +28,7 @@ from common import MODULES, TINY, ft_args  # noqa: E402
 
 import repro  # noqa: E402
 from repro.autosched import RandomTuner  # noqa: E402
+from repro.runtime.metrics import pipeline_stats  # noqa: E402
 
 ROUNDS = 12
 THRESHOLD = 2.0
@@ -52,6 +53,7 @@ def run_once():
         tuner.tune()
         out[name] = {"tuner_total_s": round(time.perf_counter() - t0, 4)}
     out["_cache_stats"] = repro.compile_cache_stats()
+    out["_pipeline_stats"] = pipeline_stats()
     return out
 
 

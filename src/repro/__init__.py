@@ -55,15 +55,16 @@ __all__ = [
 
 
 def clear_compile_caches():
-    """Reset every compile-path cache: the build cache, the lowering memo,
-    the dependence-feasibility memo and the Omega feasibility memo."""
+    """Reset every compile-path cache: the build cache, the per-pass
+    pipeline cache, the dependence-feasibility memo and the Omega
+    feasibility memo."""
     from .analysis import clear_analysis_cache
-    from .passes import clear_lower_cache
+    from .pipeline import clear_pass_cache
     from .polyhedral import clear_feasibility_cache
     from .runtime.driver import clear_build_cache
 
     clear_build_cache()
-    clear_lower_cache()
+    clear_pass_cache()
     clear_analysis_cache()
     clear_feasibility_cache()
 
@@ -72,11 +73,13 @@ def compile_cache_stats():
     """Hit/miss counters for all compile-path caches (see
     docs/PERFORMANCE.md)."""
     from .analysis import analysis_cache_stats
+    from .pipeline import pass_cache_stats
     from .polyhedral import feasibility_stats
     from .runtime.driver import build_cache_stats
 
     return {
         "build": build_cache_stats(),
+        "passes": pass_cache_stats(),
         "deps": analysis_cache_stats(),
         "omega": feasibility_stats(),
     }
@@ -96,4 +99,8 @@ def __getattr__(name):
         from .runtime import driver
 
         return getattr(driver, name)
+    if name == "pipeline":
+        import importlib
+
+        return importlib.import_module(".pipeline", __name__)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -67,11 +67,14 @@ def grad(program_or_func, requires=None, provides=None,
     tensor names to materialise.
     """
     from ..frontend.staging import Program
-    from ..passes import lower
+    from ..pipeline import lowering_pipeline
 
     func = program_or_func.func if isinstance(program_or_func, Program) \
         else program_or_func
-    func = lower(func)
+    # the same standard lowering Pipeline normalises the input program
+    # and (below) the generated forward/backward functions, under the
+    # "ad" name so REPRO_DUMP_IR snapshots separate the three runs
+    func = lowering_pipeline(name="ad").run(func)
     return _GradBuilder(func, requires, provides, tapes).build()
 
 
@@ -224,11 +227,12 @@ class _GradBuilder:
         used_outputs = self._used_outputs(bwd)
         bwd = self._wrap_bwd_params(bwd, used_outputs)
 
-        from ..passes import lower
+        from ..pipeline import lowering_pipeline
 
+        pipe = lowering_pipeline(name="ad")
         return GradProgram(
-            fwd=lower(fwd),
-            bwd=lower(bwd),
+            fwd=pipe.run(fwd),
+            bwd=pipe.run(bwd),
             requires=self.requires,
             provides=self.provides,
             tape_names=[self.tape_name[t] for t in sorted(mat.tape)],

@@ -20,8 +20,26 @@ from .target import CPU, Target, default_target
 
 def auto_schedule(program_or_func, target: Optional[Target] = None,
                   backend: Optional[str] = None,
-                  passes: Optional[List[str]] = None) -> Func:
-    """Apply the automatic transformation pipeline; returns a new Func."""
+                  passes: Optional[List[str]] = None,
+                  times=None) -> Func:
+    """Apply the automatic transformation pipeline; returns a new Func.
+
+    The rule passes run as one pass-manager :class:`~repro.pipeline.Pipeline`
+    (uncacheable — they share this Schedule session), followed by the
+    standard lowering and the backend's declared legalization passes, so
+    per-pass timing, ``REPRO_DUMP_IR`` snapshots and
+    ``REPRO_VERIFY_EACH_PASS`` cover every rule individually. ``times``,
+    when given, accumulates per-pass wall-clock seconds.
+    """
+    import os
+    import time
+
+    from ..ir.hashing import struct_hash
+    from ..pipeline import Pass, Pipeline, build_pipeline
+    from ..pipeline.manager import (composite_cache_lookup,
+                                    composite_cache_store)
+    from ..runtime import metrics
+
     if target is None:
         target = default_target(backend or "pycode")
     s = Schedule(program_or_func)
@@ -29,21 +47,54 @@ def auto_schedule(program_or_func, target: Optional[Target] = None,
         "fuse", "vectorize", "parallelize", "mem_type", "use_lib",
         "unroll",
     ]
-    if "fuse" in enabled:
-        auto_fuse(s)
-    if "vectorize" in enabled:
-        auto_vectorize(s, target)
-    if "parallelize" in enabled:
-        auto_parallelize(s, target)
-    if "mem_type" in enabled:
-        auto_mem_type(s, target)
-    if "use_lib" in enabled:
-        auto_use_lib(s)
-    if "unroll" in enabled:
-        auto_unroll(s, target)
-    from ..passes import lower
 
-    return lower(s.func)
+    # Rule passes are individually uncacheable, but the whole run is
+    # deterministic in (lowered input, backend, target, enabled rules):
+    # memoize it as one composite entry so every optimized compile of a
+    # program — build(), the tuner, the verify CLI — sees the identical
+    # Func (same sids, same struct_hash). Skipped under the
+    # instrumentation env vars, which want every pass to really run.
+    instrumented = (os.environ.get("REPRO_VERIFY_EACH_PASS", "") == "1"
+                    or bool(os.environ.get("REPRO_DUMP_IR", "")))
+    memo_key = "|".join((struct_hash(s.func, include_sids=True),
+                         backend or "pycode",
+                         repr(target.cache_key()), ",".join(enabled)))
+    if not instrumented:
+        t0 = time.perf_counter()
+        cached = composite_cache_lookup("autosched", memo_key)
+        if cached is not None:
+            dt = time.perf_counter() - t0
+            metrics.record_pass_run("autosched", dt, True)
+            if times is not None:
+                times["autosched"] = times.get("autosched", 0.0) + dt
+            return cached
+    rules = (
+        ("fuse", auto_fuse, ()),
+        ("vectorize", auto_vectorize, (target,)),
+        ("parallelize", auto_parallelize, (target,)),
+        ("mem_type", auto_mem_type, (target,)),
+        ("use_lib", auto_use_lib, ()),
+        ("unroll", auto_unroll, (target,)),
+    )
+
+    def rule_pass(fn, args):
+        # rule passes transform the shared Schedule session; the session's
+        # current tree is by construction the previous pass's output
+        def run(_func):
+            fn(s, *args)
+            return s.func
+
+        return run
+
+    rule_passes = [Pass("auto_" + key, rule_pass(fn, args),
+                        cacheable=False)
+                   for key, fn, args in rules if key in enabled]
+    tail = build_pipeline(backend=backend or "pycode", target=target)
+    pipe = Pipeline(rule_passes + tail.passes, name="autosched")
+    out = pipe.run(s.func, times=times)
+    if not instrumented:
+        composite_cache_store("autosched", memo_key, out)
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,12 @@ from ..ir import (AccessType, DataType, Func, Load, MemType, Stmt, VarDef,
                   defined_tensors)
 from ..ir import expr as E
 from ..ir import stmt as S
+from ..pipeline.legalize import declare_legalization, legalize
+
+# gcc only allows simd-safe constructs inside an ``omp simd`` region;
+# the simd_suppress pass clears vectorize markings this backend could
+# not honour, so codegen below can emit the pragma unconditionally
+declare_legalization("c", ("simd_suppress",))
 
 _CTYPE = {
     DataType.FLOAT32: "float",
@@ -437,25 +443,6 @@ class CCodegen:
             ok.discard(w.var)
         return {v: ops[v] for v in ok}
 
-    @staticmethod
-    def _simd_body_ok(body) -> bool:
-        """Whether a vectorized loop body stays legal under ``omp simd``.
-
-        gcc only allows ``ordered simd``/``simd``/``loop``/``atomic``
-        constructs inside a simd region; a nested ``parallel for`` or the
-        ``critical`` a min/max atomic lowers to must instead drop the simd
-        pragma (it is an optimization hint, a plain loop is always correct).
-        """
-        from ..ir import collect_stmts
-
-        for x in collect_stmts(body, lambda x: True):
-            if isinstance(x, S.For) and x.property.parallel:
-                return False
-            if isinstance(x, S.ReduceTo) and x.atomic \
-                    and x.op in ("min", "max"):
-                return False
-        return True
-
     def _gen_for(self, s: S.For, indent: int):
         it = self.mangle(s.iter_var)
         released = set()
@@ -481,8 +468,9 @@ class CCodegen:
                 released.add(var)
             self.line(indent, pragma)
         elif s.property.vectorize:
-            if self._simd_body_ok(s.body):
-                self.line(indent, "#pragma omp simd")
+            # vectorize markings gcc cannot honour were cleared by the
+            # simd_suppress legalization pass (repro.pipeline.legalize)
+            self.line(indent, "#pragma omp simd")
         elif s.property.unroll:
             self.line(indent, "#pragma GCC unroll 8")
         self.line(indent,
@@ -567,6 +555,9 @@ def compile_func_native(func: Func, cc: str = "gcc", openmp: bool = True,
                         opt: str = "-O3 -march=native -fno-math-errno",
                         **_opts):
     """Compile a Func with the host C compiler; returns ``run(env)``."""
+    # idempotent when the build pipeline already legalized; keeps direct
+    # compile_func_native() callers correct
+    func = legalize(func, "c")
     gen = CCodegen(func)
     src = gen.generate()
     digest = hashlib.sha1(src.encode()).hexdigest()[:16]

@@ -16,7 +16,11 @@ from typing import Dict, List, Tuple
 from ..errors import BackendError
 from ..ir import (DataType, For, Func, MemType, Stmt, VarDef)
 from ..ir import stmt as S
+from ..pipeline.legalize import declare_legalization, legalize
 from .ccode import CCodegen, _CTYPE
+
+# nvcc shares gcc's restrictions on what may appear inside a simd region
+declare_legalization("cuda", ("simd_suppress",))
 
 _AXES = {"x": 0, "y": 1, "z": 2}
 
@@ -208,4 +212,7 @@ class CUDACodegen(CCodegen):
 
 def generate_cuda(func: Func) -> str:
     """CUDA C++ source for a (CUDA-scheduled) Func."""
+    # idempotent when the build pipeline already legalized; keeps direct
+    # generate_cuda() callers correct
+    func = legalize(func, "cuda")
     return CUDACodegen(func).generate()

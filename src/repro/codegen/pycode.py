@@ -17,6 +17,10 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import BackendError
 from ..ir import expr as E
 from ..ir import stmt as S
+from ..pipeline.legalize import declare_legalization
+
+# the interpreter executes vectorize markings itself — nothing to legalize
+declare_legalization("pycode", ())
 
 _SCALAR_INTRIN = {
     "abs": "abs",

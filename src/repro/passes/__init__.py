@@ -1,6 +1,10 @@
-"""Lowering passes applied between staging and code generation."""
+"""Lowering passes applied between staging and code generation.
 
-import os
+The individual transformations live here; the *sequence* they run in is
+owned by the pass manager (``repro.pipeline``), which adds per-pass
+caching, timing and instrumentation. ``lower()`` remains the stable
+convenience entry for "run the standard lowering pipeline".
+"""
 
 from .cleanup import remove_dead_writes
 from .flatten import flatten_stmt_seq
@@ -8,42 +12,33 @@ from .make_reduction import make_reduction
 from .prune import prune_branches
 from .simplify_pass import simplify, simplify_expr
 
-#: memo of lowered functions keyed by sid-inclusive content hash. Lowering
-#: is deterministic and sid-preserving, and lowered trees are treated as
-#: immutable by every consumer (schedules rebuild, never mutate in place),
-#: so sharing the output across callers is safe. The sid-inclusive key
-#: keeps statement addressing identical to a fresh lowering.
-_LOWER_MEMO = {}
-_LOWER_MEMO_LIMIT = 512
-
 
 def clear_lower_cache():
-    """Drop the lowering memo."""
-    _LOWER_MEMO.clear()
+    """Drop cached lowering results.
+
+    Backwards-compatible shim: the old whole-``lower()`` memo was
+    subsumed by the pass manager's per-pass cache, so this now clears
+    that (``repro.pipeline.clear_pass_cache``).
+    """
+    from ..pipeline import clear_pass_cache
+
+    clear_pass_cache()
 
 
 def lower(func):
     """The standard lowering pipeline (no scheduling decisions):
     flatten statement sequences, canonicalise self-updates into
     reductions, fold/simplify expressions and control flow, and drop dead
-    writes."""
-    key = None
-    if os.environ.get("REPRO_NO_LOWER_CACHE", "") != "1":
-        from ..ir.hashing import struct_hash
+    writes.
 
-        key = struct_hash(func, include_sids=True)
-        hit = _LOWER_MEMO.get(key)
-        if hit is not None:
-            return hit
-    func = flatten_stmt_seq(func)
-    func = make_reduction(func)
-    func = simplify(func)
-    func = remove_dead_writes(func)
-    if key is not None:
-        if len(_LOWER_MEMO) >= _LOWER_MEMO_LIMIT:  # pragma: no cover
-            _LOWER_MEMO.clear()
-        _LOWER_MEMO[key] = func
-    return func
+    Equivalent to ``repro.pipeline.lowering_pipeline().run(func)`` —
+    results are served pass-by-pass from the content-addressed per-pass
+    cache (disable with ``REPRO_NO_PASS_CACHE=1`` or its older alias
+    ``REPRO_NO_LOWER_CACHE=1``).
+    """
+    from ..pipeline import lowering_pipeline
+
+    return lowering_pipeline().run(func)
 
 
 __all__ = [

@@ -1,0 +1,143 @@
+"""``repro.pipeline`` — the unified pass-manager compilation pipeline.
+
+One authoritative construction of the compile flow, shared by all four
+entry points (``repro.runtime.build``, ``repro.autosched.auto_schedule``,
+``repro.ad.grad`` and the ``python -m repro.verify`` CLI):
+
+    staged Func
+      │  [optimize: auto_fuse → auto_vectorize → auto_parallelize →
+      │             auto_mem_type → auto_use_lib → auto_unroll]
+      ▼
+    flatten → make_reduction → simplify → cleanup      (standard lowering)
+      ▼
+    <backend legalization>                              (repro.pipeline.legalize)
+      ▼
+    codegen_prep                                        (final normalization)
+      ▼
+    code generator
+
+See docs/ARCHITECTURE.md for the full diagram, the pass inventory per
+target, and the instrumentation environment variables
+(``REPRO_DUMP_IR``, ``REPRO_VERIFY_EACH_PASS``, ``REPRO_NO_PASS_CACHE``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import Func
+from .legalize import (LEGALIZATION_PASSES, declare_legalization,
+                       declared_legalization, legalization_passes, legalize,
+                       simd_body_ok, suppress_illegal_simd)
+from .manager import (Pass, Pipeline, clear_pass_cache, pass_cache_stats)
+
+#: the standard lowering sequence (no scheduling decisions): flatten
+#: statement sequences, canonicalise self-updates into reductions,
+#: fold/simplify expressions and control flow, and drop dead writes.
+STANDARD_LOWERING = ("flatten", "make_reduction", "simplify", "cleanup")
+
+
+def _pass_fns():
+    from ..passes.cleanup import remove_dead_writes
+    from ..passes.flatten import flatten_stmt_seq
+    from ..passes.make_reduction import make_reduction
+    from ..passes.prune import prune_branches
+    from ..passes.simplify_pass import simplify
+
+    return {
+        "flatten": flatten_stmt_seq,
+        "make_reduction": make_reduction,
+        "simplify": simplify,
+        "cleanup": remove_dead_writes,
+        "prune": prune_branches,
+        # same transformation as "flatten" under a distinct name: the
+        # final normalization after legalization rewrites, immediately
+        # before the code generator
+        "codegen_prep": flatten_stmt_seq,
+    }
+
+
+def named_pass(name: str) -> Pass:
+    """Construct a standard pass by name (``flatten``, ``make_reduction``,
+    ``simplify``, ``cleanup``, ``prune``, ``codegen_prep``, or any
+    registered legalization pass)."""
+    fns = _pass_fns()
+    if name in fns:
+        return Pass(name, fns[name])
+    if name in LEGALIZATION_PASSES:
+        return Pass(name, LEGALIZATION_PASSES[name])
+    raise ValueError(
+        f"unknown pass {name!r}; known: "
+        f"{sorted(set(fns) | set(LEGALIZATION_PASSES))}")
+
+
+def lowering_passes() -> List[Pass]:
+    """The standard lowering sequence as fresh Pass objects."""
+    fns = _pass_fns()
+    return [Pass(n, fns[n]) for n in STANDARD_LOWERING]
+
+
+#: shared stateless pipeline instances, keyed by name
+_PIPELINES: Dict[str, Pipeline] = {}
+
+
+def lowering_pipeline(name: str = "lower") -> Pipeline:
+    """The standard lowering pipeline (what ``repro.passes.lower`` runs).
+
+    Pipelines are stateless between runs, so instances are shared by
+    ``name``; the per-pass cache is shared across all of them regardless.
+    """
+    pipe = _PIPELINES.get(name)
+    if pipe is None:
+        pipe = Pipeline(lowering_passes(), name=name)
+        _PIPELINES[name] = pipe
+    return pipe
+
+
+def build_pipeline(backend: str = "pycode", target=None,
+                   name: Optional[str] = None) -> Pipeline:
+    """The full non-scheduling compile pipeline for ``backend``: standard
+    lowering, then — when the backend declared legalization passes —
+    those passes followed by the final ``codegen_prep`` normalization.
+
+    Not memoized: the legalization declarations may change as backends
+    register themselves.
+    """
+    passes = lowering_passes()
+    legal = legalization_passes(backend)
+    if legal:
+        # re-normalise only when legalization actually rewrote the tree;
+        # for backends with nothing declared the build pipeline is
+        # exactly the standard lowering (one pass fewer in the tuner's
+        # per-candidate hot loop)
+        passes += legal
+        passes.append(named_pass("codegen_prep"))
+    return Pipeline(passes, name=name or f"build-{backend}")
+
+
+def compile_ir(func: Func, backend: str = "pycode", target=None,
+               optimize: bool = False,
+               times: Optional[Dict[str, float]] = None) -> Func:
+    """Compile ``func`` to the exact IR ``build()`` hands its backend.
+
+    This is the single authoritative optimize/lower path: ``build()``
+    calls it, and the verify CLI calls it with the same defaults, so
+    CLI-verified IR is bit-identical (same ``struct_hash``) to what a
+    build compiles.
+    """
+    if optimize:
+        from ..autosched import auto_schedule
+
+        return auto_schedule(func, target=target, backend=backend,
+                             times=times)
+    return build_pipeline(backend=backend, target=target).run(func,
+                                                              times=times)
+
+
+__all__ = [
+    "LEGALIZATION_PASSES", "Pass", "Pipeline", "STANDARD_LOWERING",
+    "build_pipeline", "clear_pass_cache", "compile_ir",
+    "declare_legalization", "declared_legalization", "legalization_passes",
+    "legalize", "lowering_passes", "lowering_pipeline", "named_pass",
+    "pass_cache_stats", "simd_body_ok", "suppress_illegal_simd",
+]

@@ -1,0 +1,115 @@
+"""Target-aware legalization passes.
+
+Each backend *declares* the passes its code generator requires before it
+can emit the IR (``declare_legalization``), and the pipeline builders in
+``repro.pipeline`` append those passes after the standard lowering
+sequence. Code generators therefore see pre-legalized IR and emit it
+directly, instead of special-casing shapes they cannot handle — e.g. the
+OpenMP simd-suppression logic that used to live inside
+``codegen/ccode.py`` is now the ``simd_suppress`` pass below.
+
+The table here pre-seeds declarations for every built-in backend (the
+pipeline for a backend is constructed before the backend module is
+imported); the backend modules re-declare their own requirements at
+import as the in-situ statement of record, and out-of-tree backends
+register theirs the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir import For, Func, Mutator, ReduceTo, Stmt, collect_stmts
+from .manager import Pass
+
+
+# ---------------------------------------------------------------------------
+# simd_suppress: drop `vectorize` markings gcc's `omp simd` cannot honour
+# ---------------------------------------------------------------------------
+
+
+def simd_body_ok(body: Stmt) -> bool:
+    """Whether a vectorized loop body stays legal under ``omp simd``.
+
+    gcc only allows ``ordered simd``/``simd``/``loop``/``atomic``
+    constructs inside a simd region; a nested ``parallel for`` or the
+    ``critical`` a min/max atomic lowers to must instead drop the simd
+    marking (it is an optimization hint — a plain loop is always correct).
+    """
+    for x in collect_stmts(body, lambda _x: True):
+        if isinstance(x, For) and x.property.parallel:
+            return False
+        if isinstance(x, ReduceTo) and x.atomic and x.op in ("min", "max"):
+            return False
+    return True
+
+
+class _SuppressIllegalSimd(Mutator):
+
+    def mutate_For(self, s: For) -> Stmt:
+        out = self.generic_mutate_stmt(s)
+        if out.property.vectorize and not simd_body_ok(out.body):
+            out.property.vectorize = False
+        return out
+
+
+def suppress_illegal_simd(func: Func) -> Func:
+    """Clear ``vectorize`` on loops whose bodies are illegal inside an
+    ``omp simd`` region (nested parallel loops, atomic min/max)."""
+    return _SuppressIllegalSimd()(func)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+#: legalization pass implementations by name
+LEGALIZATION_PASSES = {
+    "simd_suppress": suppress_illegal_simd,
+}
+
+#: backend name -> ordered pass names its code generator requires.
+#: "c" and "cuda" reuse the same simd-capable statement printer; the
+#: interpreter, the CUDA simulator and the NumPy backend interpret
+#: parallel/vectorize markings themselves and need no IR rewrites.
+_BACKEND_LEGALIZATION: Dict[str, Tuple[str, ...]] = {
+    "c": ("simd_suppress",),
+    "cuda": ("simd_suppress",),
+    "gpusim": (),
+    "interp": (),
+    "pycode": (),
+}
+
+
+def declare_legalization(backend: str, pass_names) -> None:
+    """Declare the legalization passes ``backend``'s codegen requires
+    (each name must exist in ``LEGALIZATION_PASSES``)."""
+    names = tuple(pass_names)
+    for n in names:
+        if n not in LEGALIZATION_PASSES:
+            raise ValueError(
+                f"unknown legalization pass {n!r}; known: "
+                f"{sorted(LEGALIZATION_PASSES)}")
+    _BACKEND_LEGALIZATION[backend] = names
+
+
+def declared_legalization(backend: str) -> Tuple[str, ...]:
+    """The pass names ``backend`` declared (empty for unknown backends)."""
+    return _BACKEND_LEGALIZATION.get(backend, ())
+
+
+def legalization_passes(backend: str) -> List[Pass]:
+    """Pass objects for ``backend``'s declared legalization sequence."""
+    return [Pass(n, LEGALIZATION_PASSES[n])
+            for n in declared_legalization(backend)]
+
+
+def legalize(func: Func, backend: str) -> Func:
+    """Apply ``backend``'s declared legalization directly (for code
+    generators invoked outside a Pipeline; idempotent)."""
+    from .manager import Pipeline
+
+    passes = legalization_passes(backend)
+    if not passes:
+        return func
+    return Pipeline(passes, name=f"legalize-{backend}").run(func)

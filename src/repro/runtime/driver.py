@@ -137,7 +137,9 @@ class Executable:
         self.func = func
         self.backend = backend
         self._run = run_fn
-        #: per-phase compile wall-clock seconds (schedule/lower/codegen)
+        #: per-phase compile wall-clock seconds: one entry per pipeline
+        #: pass (flatten/simplify/auto_parallelize/...), plus codegen
+        #: and, when gated, verify
         self.compile_times: Dict[str, float] = dict(compile_times or {})
         self._dim_interp = None
         self._defs = defined_tensors(func.body)
@@ -320,17 +322,15 @@ def build(program_or_func,
         else:
             _BUILD_STATS["uncacheable"] += 1
     times: Dict[str, float] = {}
-    t0 = time.perf_counter()
-    if optimize:
-        from ..autosched import auto_schedule
+    # The one authoritative compile path (shared with the verify CLI and
+    # the auto-scheduler): a pass-manager Pipeline of standard lowering,
+    # backend-declared legalization and codegen prep — with the schedule
+    # rule passes in front when optimizing. Per-pass wall-clock lands in
+    # ``times`` under each pass's name.
+    from ..pipeline import compile_ir
 
-        func = auto_schedule(func, target=target, backend=backend)
-        times["schedule"] = time.perf_counter() - t0
-    else:
-        from ..passes import lower
-
-        func = lower(func)
-        times["lower"] = time.perf_counter() - t0
+    func = compile_ir(func, backend=backend, target=target,
+                      optimize=optimize, times=times)
     if want_verify:
         from ..analysis.verify import verify as run_verifier
 

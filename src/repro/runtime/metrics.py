@@ -34,6 +34,37 @@ SECTOR = 32
 LINE = 64
 
 # ---------------------------------------------------------------------------
+# Pipeline pass counters (see repro.pipeline and docs/ARCHITECTURE.md)
+# ---------------------------------------------------------------------------
+
+#: per pass name: cumulative runs, per-pass cache hits, wall-clock seconds
+_PIPELINE_STATS: Dict[str, Dict[str, float]] = {}
+
+
+def record_pass_run(name: str, seconds: float, cache_hit: bool):
+    """Account one pipeline pass execution (or cache-served skip)."""
+    row = _PIPELINE_STATS.get(name)
+    if row is None:
+        row = _PIPELINE_STATS[name] = {"runs": 0, "cache_hits": 0,
+                                       "time_s": 0.0}
+    row["runs"] += 1
+    if cache_hit:
+        row["cache_hits"] += 1
+    row["time_s"] += seconds
+
+
+def pipeline_stats() -> Dict[str, Dict[str, float]]:
+    """Cumulative per-pass pipeline counters for this process: number of
+    runs, per-pass cache hits among them, and total wall-clock seconds
+    (cache-served runs contribute only their lookup time)."""
+    return {name: dict(row) for name, row in _PIPELINE_STATS.items()}
+
+
+def reset_pipeline_stats():
+    _PIPELINE_STATS.clear()
+
+
+# ---------------------------------------------------------------------------
 # Verifier pass/fail counters (published by the CI verify-workloads job)
 # ---------------------------------------------------------------------------
 

@@ -35,9 +35,12 @@ class Schedule:
             func = program_or_func
         else:
             raise TypeError("Schedule needs a Program or Func")
-        from ..passes import lower
+        # normalise through the standard lowering Pipeline before any
+        # transformation: per-pass cache makes repeat sessions over the
+        # same program (tuner rounds) effectively free
+        from ..pipeline import lowering_pipeline
 
-        self.func = lower(func)
+        self.func = lowering_pipeline(name="schedule").run(func)
         self._log: List[str] = []
         #: one persistent dependence analyzer for the whole session; each
         #: primitive refreshes it against the current tree instead of

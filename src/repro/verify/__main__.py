@@ -17,6 +17,7 @@ import sys
 from typing import List, Tuple
 
 from ..analysis.verify import verify
+from ..errors import VerificationError
 from ..frontend.staging import Program
 
 
@@ -98,10 +99,32 @@ def main(argv=None) -> int:
     json_out = []
     for name, prog in targets:
         func = prog.func
-        if args.optimize:
-            from ..autosched import auto_schedule
+        try:
+            if args.optimize:
+                # the same Pipeline construction build(optimize=True)
+                # uses, so CLI-verified IR is bit-identical (same
+                # struct_hash) to what a build compiles
+                from ..pipeline import compile_ir
 
-            func = auto_schedule(func)
+                func = compile_ir(func, optimize=True)
+            elif os.environ.get("REPRO_VERIFY_EACH_PASS", "") == "1":
+                # raw mode still reports on the staged IR, but run the
+                # standard build pipeline so per-pass verification
+                # covers every lowering pass too
+                from ..pipeline import compile_ir
+
+                compile_ir(func, optimize=False)
+        except VerificationError as exc:
+            failed += 1
+            if args.as_json:
+                json_out.append({"target": name, "errors": 1,
+                                 "warnings": 0, "findings": [],
+                                 "pipeline_error": str(exc)})
+            else:
+                print(f"== {name} ==")
+                print(exc)
+                print()
+            continue
         report = verify(func, level=args.level)
         if report.has_errors:
             failed += 1
