@@ -22,6 +22,11 @@ import os
 import sys
 import time
 
+# this benchmark measures the *in-process* compile path: a warm disk
+# cache (or daemon) would make the timings meaningless
+os.environ["REPRO_NO_DISK_CACHE"] = "1"
+os.environ["REPRO_NO_DAEMON"] = "1"
+
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from common import MODULES, TINY, ft_args  # noqa: E402

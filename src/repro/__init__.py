@@ -71,17 +71,21 @@ def clear_compile_caches():
 
 def compile_cache_stats():
     """Hit/miss counters for all compile-path caches (see
-    docs/PERFORMANCE.md)."""
+    docs/PERFORMANCE.md). ``disk`` covers the persistent cross-process
+    store and the compile daemon (``repro.cache``); the rest are
+    in-process."""
     from .analysis import analysis_cache_stats
     from .pipeline import pass_cache_stats
     from .polyhedral import feasibility_stats
     from .runtime.driver import build_cache_stats
+    from .runtime.metrics import disk_cache_stats
 
     return {
         "build": build_cache_stats(),
         "passes": pass_cache_stats(),
         "deps": analysis_cache_stats(),
         "omega": feasibility_stats(),
+        "disk": disk_cache_stats(),
     }
 
 

@@ -42,32 +42,41 @@ def auto_schedule(program_or_func, target: Optional[Target] = None,
 
     if target is None:
         target = default_target(backend or "pycode")
-    s = Schedule(program_or_func)
     enabled = passes if passes is not None else [
         "fuse", "vectorize", "parallelize", "mem_type", "use_lib",
         "unroll",
     ]
 
     # Rule passes are individually uncacheable, but the whole run is
-    # deterministic in (lowered input, backend, target, enabled rules):
+    # deterministic in (raw input, backend, target, enabled rules):
     # memoize it as one composite entry so every optimized compile of a
     # program — build(), the tuner, the verify CLI — sees the identical
-    # Func (same sids, same struct_hash). Skipped under the
-    # instrumentation env vars, which want every pass to really run.
+    # Func (same sids, same struct_hash). Keyed on the *raw* (pre-
+    # Schedule) tree so a memo hit skips Schedule construction and its
+    # pre-lowering outright. Skipped under the instrumentation env vars,
+    # which want every pass to really run.
     instrumented = (os.environ.get("REPRO_VERIFY_EACH_PASS", "") == "1"
                     or bool(os.environ.get("REPRO_DUMP_IR", "")))
-    memo_key = "|".join((struct_hash(s.func, include_sids=True),
+    raw = getattr(program_or_func, "func", program_or_func)
+    memo_key = "|".join((struct_hash(raw, include_sids=True),
                          backend or "pycode",
                          repr(target.cache_key()), ",".join(enabled)))
+    # process-independent discriminator for the persistent store (the
+    # canonical input hash is prepended by the cache layer itself)
+    disk_extra = "|".join((backend or "pycode", repr(target.cache_key()),
+                           ",".join(enabled)))
     if not instrumented:
         t0 = time.perf_counter()
-        cached = composite_cache_lookup("autosched", memo_key)
+        cached = composite_cache_lookup("autosched", memo_key,
+                                        input_func=raw,
+                                        disk_extra=disk_extra)
         if cached is not None:
             dt = time.perf_counter() - t0
             metrics.record_pass_run("autosched", dt, True)
             if times is not None:
                 times["autosched"] = times.get("autosched", 0.0) + dt
             return cached
+    s = Schedule(program_or_func)
     rules = (
         ("fuse", auto_fuse, ()),
         ("vectorize", auto_vectorize, (target,)),
@@ -93,7 +102,8 @@ def auto_schedule(program_or_func, target: Optional[Target] = None,
     pipe = Pipeline(rule_passes + tail.passes, name="autosched")
     out = pipe.run(s.func, times=times)
     if not instrumented:
-        composite_cache_store("autosched", memo_key, out)
+        composite_cache_store("autosched", memo_key, out,
+                              input_func=raw, disk_extra=disk_extra)
     return out
 
 

@@ -1,0 +1,136 @@
+"""Client side of the warm compile daemon.
+
+``maybe_daemon_compile`` is consulted at the top of
+``repro.pipeline.compile_ir``: when a daemon (``python -m repro.cached``)
+is listening on the well-known socket, the whole optimize+lower job is
+delegated to it — the daemon's in-memory pass/autosched caches stay hot
+across short-lived client processes, so a popular kernel compiles to a
+socket round-trip. Every failure mode (no daemon, stale socket, protocol
+or schema mismatch, timeout, unserializable IR) returns None and the
+caller compiles locally; the daemon is a pure accelerator, never a
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Dict, Optional
+
+from ..ir import Func
+from . import keys, serial
+
+#: per-request ceiling; a genuinely cold daemon compile of the largest
+#: workload is well under this, and a hung daemon must not hang clients
+_TIMEOUT_S = 60.0
+
+#: daemon results already fetched by this process, keyed by
+#: (input hash, backend, target, optimize)
+_LOCAL: dict = {}
+
+
+def daemon_sock_path() -> str:
+    env = os.environ.get("REPRO_DAEMON_SOCK")
+    if env:
+        return env
+    from .store import cache_root
+
+    return os.path.join(cache_root(), "daemon.sock")
+
+
+def daemon_enabled() -> bool:
+    return os.environ.get("REPRO_NO_DAEMON") != "1"
+
+
+def _target_fields(target) -> Optional[dict]:
+    if target is None:
+        return None
+    return {
+        "kind": target.kind, "name": target.name,
+        "num_threads": target.num_threads,
+        "block_size": target.block_size,
+        "max_local_elems": target.max_local_elems,
+        "max_shared_elems": target.max_shared_elems,
+        "unroll_limit": target.unroll_limit,
+    }
+
+
+def request(req: dict, timeout: float = _TIMEOUT_S) -> dict:
+    """One JSON-line round-trip with the daemon; raises OSError family on
+    transport problems, ValueError on garbage replies."""
+    path = daemon_sock_path()
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sk:
+        sk.settimeout(timeout)
+        sk.connect(path)
+        sk.sendall(json.dumps(req).encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sk.recv(1 << 20)
+            if not chunk:  # daemon died mid-reply
+                break
+            buf += chunk
+    if not buf:
+        raise ValueError("empty reply from daemon")
+    return json.loads(buf.decode())
+
+
+def maybe_daemon_compile(func: Func, backend: str, target, optimize: bool,
+                         times: Optional[Dict[str, float]] = None,
+                         ) -> Optional[Func]:
+    """Delegate one compile to the daemon; None means "compile locally".
+
+    Never raises: the daemon path is strictly best-effort.
+    """
+    from ..runtime import metrics
+
+    if not daemon_enabled():
+        return None
+    if os.environ.get("REPRO_DUMP_IR") or \
+            os.environ.get("REPRO_VERIFY_EACH_PASS") == "1":
+        return None  # instrumented runs want local pass execution
+    path = daemon_sock_path()
+    if not os.path.exists(path):
+        return None
+    from ..ir import struct_hash
+    from .keys import target_tag
+
+    # repeats of one job inside one process are served locally — a
+    # socket round-trip per tuner-candidate recompile would undo the
+    # in-memory caches the daemon exists to complement
+    local_key = (struct_hash(func, include_sids=True), backend,
+                 target_tag(target), bool(optimize))
+    hit = _LOCAL.get(local_key)
+    if hit is not None:
+        return hit
+    t0 = time.perf_counter()
+    try:
+        payload = serial.encode_func(func)
+        if payload is None:
+            metrics.record_daemon(False, time.perf_counter() - t0)
+            return None
+        reply = request({
+            "op": "compile",
+            "schema": keys.schema_tag(),
+            "backend": backend,
+            "optimize": bool(optimize),
+            "target": _target_fields(target),
+            "func": payload,
+        })
+        if not reply.get("ok"):
+            metrics.record_daemon(False, time.perf_counter() - t0)
+            return None
+        out = serial.decode_entry(reply["entry"],
+                                  serial.preorder_sids(func))
+    except Exception:
+        metrics.record_daemon(False, time.perf_counter() - t0)
+        return None
+    dt = time.perf_counter() - t0
+    metrics.record_daemon(True, dt)
+    if times is not None:
+        times["daemon"] = times.get("daemon", 0.0) + dt
+    if len(_LOCAL) >= 512:
+        _LOCAL.clear()  # pragma: no cover
+    _LOCAL[local_key] = out
+    return out

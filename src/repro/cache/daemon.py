@@ -1,0 +1,176 @@
+"""The warm compile daemon (run as ``python -m repro.cached``).
+
+A long-lived process listening on a unix socket whose in-memory pass and
+autosched caches stay hot across client processes. A client delegates a
+whole ``compile_ir`` job (see :mod:`repro.cache.client`); the daemon
+compiles through the exact same pipeline — including the persistent disk
+cache, which it also populates — and ships the result back with the
+statement-identity translation of :mod:`repro.cache.serial`.
+
+Protocol: one JSON object per line, one request per connection.
+
+- ``{"op": "ping"}`` → ``{"ok": true, "pid": ..., "schema": ...}``
+- ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}``
+- ``{"op": "compile", "schema", "backend", "optimize", "target",
+  "func"}`` → ``{"ok": true, "entry": ...}``
+- ``{"op": "shutdown"}`` → ``{"ok": true}`` and the daemon exits
+
+A ``schema`` mismatch (client built from different compiler sources)
+refuses the job; the client recompiles locally. Compiles serialize on
+one lock — the pass caches are not thread-safe, and a warm compile is
+far cheaper than fine-grained locking would be.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Optional
+
+from . import keys, serial
+
+
+def _resolve_target(fields: Optional[dict]):
+    if fields is None:
+        return None
+    from ..autosched.target import Target
+
+    return Target(fields["kind"], fields["name"],
+                  num_threads=fields["num_threads"],
+                  block_size=fields["block_size"],
+                  max_local_elems=fields["max_local_elems"],
+                  max_shared_elems=fields["max_shared_elems"],
+                  unroll_limit=fields["unroll_limit"])
+
+
+class CompileDaemon:
+    """One listening socket; one thread per connection; one compile at a
+    time."""
+
+    def __init__(self, sock_path: Optional[str] = None):
+        from .client import daemon_sock_path
+
+        self.sock_path = sock_path or daemon_sock_path()
+        self._compile_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._server: Optional[socket.socket] = None
+        self.compiles = 0
+
+    # -- request handlers -------------------------------------------------
+
+    def handle(self, req: dict) -> dict:
+        op = req.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "schema": keys.schema_tag()}
+        if op == "stats":
+            from ..runtime import metrics
+
+            return {"ok": True, "stats": {
+                "pid": os.getpid(),
+                "compiles": self.compiles,
+                "disk": metrics.disk_cache_stats(),
+                "passes": metrics.pipeline_stats(),
+            }}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True}
+        if op == "compile":
+            return self._compile(req)
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _compile(self, req: dict) -> dict:
+        if req.get("schema") != keys.schema_tag():
+            return {"ok": False, "error": "schema mismatch"}
+        try:
+            # fresh local sids: client sid spaces must never leak into
+            # (or collide within) the daemon's own
+            inp = serial.decode_func(req["func"], sid_map={})
+        except Exception as exc:
+            return {"ok": False, "error": f"bad input IR: {exc}"}
+        from ..pipeline import compile_ir
+
+        target = _resolve_target(req.get("target"))
+        with self._compile_lock:
+            try:
+                out = compile_ir(inp, backend=req.get("backend", "pycode"),
+                                 target=target,
+                                 optimize=bool(req.get("optimize")))
+            except Exception as exc:
+                return {"ok": False, "error": f"compile failed: {exc}"}
+            self.compiles += 1
+        entry = serial.encode_entry(out, serial.preorder_sids(inp))
+        if entry is None:
+            return {"ok": False, "error": "result not serializable"}
+        return {"ok": True, "entry": entry}
+
+    # -- server loop ------------------------------------------------------
+
+    def _serve_conn(self, conn: socket.socket):
+        with conn:
+            conn.settimeout(120)
+            buf = b""
+            try:
+                while not buf.endswith(b"\n"):
+                    chunk = conn.recv(1 << 20)
+                    if not chunk:
+                        return
+                    buf += chunk
+                reply = self.handle(json.loads(buf.decode()))
+            except Exception as exc:
+                reply = {"ok": False, "error": str(exc)}
+            try:
+                conn.sendall(json.dumps(reply).encode() + b"\n")
+            except OSError:
+                pass
+
+    def serve_forever(self):
+        # the daemon never consults itself, and its compiles must run
+        # even if the spawning shell exported the opt-out
+        os.environ["REPRO_NO_DAEMON"] = "1"
+        os.makedirs(os.path.dirname(self.sock_path), exist_ok=True)
+        try:
+            os.unlink(self.sock_path)
+        except OSError:
+            pass
+        self._server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._server.bind(self.sock_path)
+        self._server.listen(16)
+        self._server.settimeout(0.5)  # poll the shutdown flag
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _ = self._server.accept()
+                except socket.timeout:
+                    continue
+                t = threading.Thread(target=self._serve_conn, args=(conn,),
+                                     daemon=True)
+                t.start()
+        finally:
+            self._server.close()
+            try:
+                os.unlink(self.sock_path)
+            except OSError:
+                pass
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.cached",
+        description="warm compile daemon for the repro DSL")
+    ap.add_argument("--sock", default=None,
+                    help="socket path (default: REPRO_DAEMON_SOCK or "
+                         "<cache root>/daemon.sock)")
+    args = ap.parse_args(argv)
+    daemon = CompileDaemon(args.sock)
+    print(f"repro compile daemon: pid {os.getpid()}, "
+          f"socket {daemon.sock_path}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    return 0

@@ -1,0 +1,10 @@
+"""``python -m repro.cached`` — run the warm compile daemon.
+
+See :mod:`repro.cache.daemon` for the protocol and
+docs/PERFORMANCE.md for when a daemon is worth running.
+"""
+
+from .cache.daemon import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,6 @@ Integer ``//`` and ``%`` follow Python (floor) semantics via helpers.
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
 import subprocess
 import tempfile
@@ -545,40 +544,70 @@ _CACHE_DIR = None
 
 
 def _cache_dir() -> str:
+    """Native artifact directory.
+
+    With the persistent cache on (the default) this is the shared
+    ``<cache root>/native`` store, so kernels survive the process and are
+    shared machine-wide. When ``REPRO_NO_DISK_CACHE=1`` it falls back to
+    a per-process temp directory that is removed at interpreter exit —
+    the old behaviour minus the old leak (nothing ever deleted it).
+    """
     global _CACHE_DIR
     if _CACHE_DIR is None:
-        _CACHE_DIR = tempfile.mkdtemp(prefix="repro_cc_")
+        from ..cache import store as disk_store
+
+        shared = disk_store.get_store()
+        if shared is not None:
+            _CACHE_DIR = shared.native_dir()
+            os.makedirs(_CACHE_DIR, exist_ok=True)
+        else:
+            import atexit
+            import shutil
+
+            _CACHE_DIR = tempfile.mkdtemp(prefix="repro_cc_")
+            atexit.register(shutil.rmtree, _CACHE_DIR,
+                            ignore_errors=True)
     return _CACHE_DIR
+
+
+def _invalidate_cache_dir():
+    """Re-resolve the native directory (tests re-point REPRO_CACHE_DIR)."""
+    global _CACHE_DIR
+    _CACHE_DIR = None
 
 
 def compile_func_native(func: Func, cc: str = "gcc", openmp: bool = True,
                         opt: str = "-O3 -march=native -fno-math-errno",
                         **_opts):
-    """Compile a Func with the host C compiler; returns ``run(env)``."""
+    """Compile a Func with the host C compiler; returns ``run(env)``.
+
+    Artifacts are content-addressed by the full gcc input — generated
+    source, compiler identity (``cc --version``) and flags — so any
+    process that ever compiled this translation unit on this machine
+    already paid for the ``.so`` everyone else loads. Concurrent builders
+    of one key serialize on a per-key lock file, and the winner publishes
+    with an atomic rename so readers never observe a half-written object.
+    """
+    from ..cache.keys import native_digest
+    from ..runtime import metrics
+
     # idempotent when the build pipeline already legalized; keeps direct
     # compile_func_native() callers correct
     func = legalize(func, "c")
     gen = CCodegen(func)
     src = gen.generate()
-    digest = hashlib.sha1(src.encode()).hexdigest()[:16]
+    digest = native_digest(src, cc, opt, openmp)
     cdir = _cache_dir()
     c_path = os.path.join(cdir, f"k{digest}.c")
     so_path = os.path.join(cdir, f"k{digest}.so")
     if not os.path.exists(so_path):
-        with open(c_path, "w") as f:
-            f.write(src)
-        cmd = [cc, *opt.split(), "-shared", "-fPIC", "-o", so_path,
-               c_path, "-lm"]
-        if openmp:
-            cmd.insert(2, "-fopenmp")
-        try:
-            subprocess.run(cmd, check=True, capture_output=True, text=True)
-        except FileNotFoundError:
-            raise BackendError(f"C compiler {cc!r} not found") from None
-        except subprocess.CalledProcessError as exc:
-            raise BackendError(
-                f"gcc failed:\n{exc.stderr}\n--- source ---\n{src}"
-            ) from None
+        _build_native(src, cc, opt, openmp, cdir, digest, c_path, so_path)
+    else:
+        metrics.record_native(True)
+        try:  # LRU recency for the shared store's GC
+            os.utime(so_path)
+        except OSError:
+            pass
     lib = ctypes.CDLL(so_path)
     kernel = lib.kernel
     interface = func.interface_tensors()
@@ -603,3 +632,55 @@ def compile_func_native(func: Func, cc: str = "gcc", openmp: bool = True,
 
     run.__ft_source__ = src
     return run
+
+
+def _build_native(src: str, cc: str, opt: str, openmp: bool, cdir: str,
+                  digest: str, c_path: str, so_path: str):
+    """Compile ``src`` and publish ``so_path`` atomically (one winner per
+    key across processes)."""
+    import time as _time
+
+    from ..runtime import metrics
+
+    metrics.record_native(False)
+    lock_path = os.path.join(cdir, f"k{digest}.lock")
+    lock = open(lock_path, "w")
+    # gcc dispatches on the suffix, so the temp names keep .c / .so and
+    # embed the pid before it (unique per concurrent builder)
+    tmp_c = os.path.join(cdir, f"k{digest}.{os.getpid()}.tmp.c")
+    tmp_so = os.path.join(cdir, f"k{digest}.{os.getpid()}.tmp.so")
+    try:
+        try:
+            import fcntl
+
+            fcntl.flock(lock, fcntl.LOCK_EX)
+        except ImportError:  # pragma: no cover - non-posix
+            pass
+        if os.path.exists(so_path):  # raced: another process built it
+            return
+        t0 = _time.perf_counter()
+        with open(tmp_c, "w") as f:
+            f.write(src)
+        cmd = [cc, *opt.split(), "-shared", "-fPIC", "-o", tmp_so,
+               tmp_c, "-lm"]
+        if openmp:
+            cmd.insert(2, "-fopenmp")
+        try:
+            subprocess.run(cmd, check=True, capture_output=True, text=True)
+        except FileNotFoundError:
+            raise BackendError(f"C compiler {cc!r} not found") from None
+        except subprocess.CalledProcessError as exc:
+            raise BackendError(
+                f"gcc failed:\n{exc.stderr}\n--- source ---\n{src}"
+            ) from None
+        metrics.record_gcc_run(_time.perf_counter() - t0)
+        # keep the source beside the object (debugging aid), then publish
+        os.replace(tmp_c, c_path)
+        os.replace(tmp_so, so_path)
+    finally:
+        for tmp in (tmp_c, tmp_so):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        lock.close()

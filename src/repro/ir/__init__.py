@@ -23,7 +23,7 @@ from .hashing import (expr_fingerprint, fingerprint, func_fingerprint,
 from .printer import dump, print_ast, print_expr
 from .stmt import (Alloc, Any, Assert, Eval, For, ForProperty, Free, Func, If,
                    LibCall, REDUCE_OPS, ReduceTo, Stmt, StmtSeq, Store,
-                   VarDef, fresh_sid, seq)
+                   VarDef, bump_sid_counter, fresh_sid, seq)
 from .visitor import ExprMutator, Mutator, Visitor, map_exprs
 
 __all__ = [
@@ -50,7 +50,7 @@ __all__ = [
     # stmt
     "Alloc", "Any", "Assert", "Eval", "For", "ForProperty", "Free", "Func",
     "If", "LibCall", "REDUCE_OPS", "ReduceTo", "Stmt", "StmtSeq", "Store",
-    "VarDef", "fresh_sid", "seq",
+    "VarDef", "bump_sid_counter", "fresh_sid", "seq",
     # visitor
     "ExprMutator", "Mutator", "Visitor", "map_exprs",
 ]

@@ -54,10 +54,23 @@ def _data_fingerprint(data):
         return repr(data)
 
 
-def stmt_fingerprint(s: S.Stmt, include_sids: bool = False):
-    """A hashable tuple uniquely identifying a statement tree."""
-    fp = stmt_fingerprint
-    sid = s.sid if include_sids else None
+def stmt_fingerprint(s: S.Stmt, include_sids: bool = False,
+                     sid_map: Optional[dict] = None):
+    """A hashable tuple uniquely identifying a statement tree.
+
+    ``sid_map``, when given with ``include_sids``, translates statement
+    ids before they enter the fingerprint. The on-disk compile cache uses
+    this to hash trees under *canonical* (preorder-renumbered) ids, so
+    two processes that staged the same program with different absolute
+    sid values produce the same key (see ``repro.cache.serial``).
+    """
+    def fp(c, _inc=include_sids):
+        return stmt_fingerprint(c, _inc, sid_map)
+
+    if include_sids:
+        sid = s.sid if sid_map is None else sid_map.get(s.sid, s.sid)
+    else:
+        sid = None
     t = type(s).__name__
     if isinstance(s, S.StmtSeq):
         return (t, sid, tuple(fp(c, include_sids) for c in s.stmts))
@@ -92,25 +105,28 @@ def stmt_fingerprint(s: S.Stmt, include_sids: bool = False):
     raise TypeError(f"cannot fingerprint {t}")  # pragma: no cover
 
 
-def func_fingerprint(func: S.Func, include_sids: bool = False):
+def func_fingerprint(func: S.Func, include_sids: bool = False,
+                     sid_map: Optional[dict] = None):
     """A hashable tuple uniquely identifying a Func."""
     return ("Func", func.name, tuple(func.params),
             tuple(func.scalar_params), tuple(func.returns),
-            stmt_fingerprint(func.body, include_sids))
+            stmt_fingerprint(func.body, include_sids, sid_map))
 
 
-def fingerprint(node, include_sids: bool = False):
+def fingerprint(node, include_sids: bool = False,
+                sid_map: Optional[dict] = None):
     """Fingerprint any IR node (Func, Stmt or Expr)."""
     if isinstance(node, S.Func):
-        return func_fingerprint(node, include_sids)
+        return func_fingerprint(node, include_sids, sid_map)
     if isinstance(node, S.Stmt):
-        return stmt_fingerprint(node, include_sids)
+        return stmt_fingerprint(node, include_sids, sid_map)
     if isinstance(node, E.Expr):
         return expr_fingerprint(node)
     raise TypeError(f"cannot fingerprint {type(node).__name__}")
 
 
-def struct_hash(node, include_sids: bool = False) -> str:
+def struct_hash(node, include_sids: bool = False,
+                sid_map: Optional[dict] = None) -> str:
     """A short stable content hash (hex digest) of any IR node."""
-    fp = fingerprint(node, include_sids)
+    fp = fingerprint(node, include_sids, sid_map)
     return hashlib.blake2b(repr(fp).encode(), digest_size=16).hexdigest()

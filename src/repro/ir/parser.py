@@ -32,20 +32,34 @@ class _Tokens:
 
     def __init__(self, text: str):
         self.toks: List[str] = []
+        #: JSON payloads of ``/*attrs {...}*/`` annotations, referenced
+        #: from the token stream as ``¶attrs <index>`` (JSON text would
+        #: not survive tokenization)
+        self.attr_payloads: List[str] = []
         for line in text.splitlines():
             if "/*" in line:
                 # loop/reduction annotations become explicit tokens;
                 # anything else in comments is dropped
+                line = re.sub(r"/\*attrs (.*?)\*/", self._stash_attrs,
+                              line)
                 line = re.sub(r"/\*parallel=([\w./]+)\*/",
                               r" ¶parallel \1 ", line)
                 line = line.replace("/*unroll*/", " ¶unroll ")
                 line = line.replace("/*vectorize*/", " ¶vectorize ")
                 line = line.replace("/*atomic*/", " ¶atomic ")
+                line = line.replace("/*pinned*/", " ¶pinned ")
+                line = line.replace("/*prefer_libs*/", " ¶prefer_libs ")
+                line = re.sub(r"/\*no_deps=([\w.,]+)\*/",
+                              r" ¶no_deps \1 ", line)
                 line = re.sub(r"/\*.*?\*/", "", line)
             line = re.sub(r"^\s*[\w.]+:\s", _label_tok, line)
             for m in _TOKEN_RE.finditer(line):
                 self.toks.append(m.group(0))
         self.pos = 0
+
+    def _stash_attrs(self, m: re.Match) -> str:
+        self.attr_payloads.append(m.group(1))
+        return f" ¶attrs {len(self.attr_payloads) - 1} "
 
     def peek(self, k: int = 0) -> Optional[str]:
         i = self.pos + k
@@ -260,11 +274,18 @@ class _Parser:
         if self.t.peek() == "/":  # mtypes like gpu/shared
             self.t.next()
             mtype += "/" + self.t.next()
+        pinned = False
+        if self.t.accept("¶"):
+            mark = self.t.next()
+            if mark != "pinned":
+                raise InvalidProgram(f"unexpected annotation {mark!r}")
+            pinned = True
         self.t.expect("{")
         self.dtypes[name] = dtype
         body = self.parse_stmts()
         self.t.expect("}")
-        return S.VarDef(name, shape, dtype, atype, mtype, body)
+        return S.VarDef(name, shape, dtype, atype, mtype, body,
+                        pinned=pinned)
 
     def _for(self) -> S.Stmt:
         self.t.expect("for")
@@ -282,6 +303,13 @@ class _Parser:
                 prop.unroll = True
             elif kind == "vectorize":
                 prop.vectorize = True
+            elif kind == "no_deps":
+                names = [self.t.next()]
+                while self.t.accept(","):
+                    names.append(self.t.next())
+                prop.no_deps = tuple(names)
+            elif kind == "prefer_libs":
+                prop.prefer_libs = True
             else:
                 raise InvalidProgram(f"unknown loop annotation {kind!r}")
         self.t.expect("{")
@@ -317,7 +345,15 @@ class _Parser:
             args.append(self.t.next())
             self.t.accept(",")
         self.t.expect(")")
-        return S.LibCall(kind, outs, args)
+        attrs = None
+        if self.t.accept("¶"):
+            mark = self.t.next()
+            if mark != "attrs":
+                raise InvalidProgram(f"unexpected annotation {mark!r}")
+            import json
+
+            attrs = json.loads(self.t.attr_payloads[int(self.t.next())])
+        return S.LibCall(kind, outs, args, attrs)
 
     def _store_like(self) -> S.Stmt:
         name = self.t.next()
@@ -335,6 +371,8 @@ class _Parser:
             out = S.ReduceTo(name, idx, "+", self.parse_expr())
         elif op == "*=":
             out = S.ReduceTo(name, idx, "*", self.parse_expr())
+        elif op in ("min", "max") and self.t.accept("="):
+            out = S.ReduceTo(name, idx, op, self.parse_expr())
         else:
             raise InvalidProgram(f"unexpected assignment operator {op!r}")
         if self.t.accept("¶"):

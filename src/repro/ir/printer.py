@@ -95,8 +95,9 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False,
         return "".join(print_ast(c, indent, show_ids, show_spans) for c in s.stmts)
     if isinstance(s, S.VarDef):
         shape = ", ".join(print_expr(d) for d in s.shape)
+        pin = " /*pinned*/" if s.pinned else ""
         head = (f"{pad}{lp}@{s.atype} {s.name}: {s.dtype}[{shape}]"
-                f" @{s.mtype} {{{idc}\n")
+                f" @{s.mtype}{pin} {{{idc}\n")
         return head + print_ast(s.body, indent + 1, show_ids, show_spans) + f"{pad}}}\n"
     if isinstance(s, S.For):
         props = []
@@ -106,6 +107,10 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False,
             props.append(" /*unroll*/")
         if s.property.vectorize:
             props.append(" /*vectorize*/")
+        if s.property.no_deps:
+            props.append(f" /*no_deps={','.join(s.property.no_deps)}*/")
+        if s.property.prefer_libs:
+            props.append(" /*prefer_libs*/")
         head = (f"{pad}{lp}for {s.iter_var} in "
                 f"{print_expr(s.begin)}:{print_expr(s.end)}"
                 f"{''.join(props)} {{{idc}\n")
@@ -127,10 +132,7 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False,
         if s.indices:
             target += f"[{', '.join(print_expr(i) for i in s.indices)}]"
         at = " /*atomic*/" if s.atomic else ""
-        if s.op in ("+", "*"):
-            return f"{pad}{lp}{target} {s.op}= {print_expr(s.expr)}{at}{idc}\n"
-        return (f"{pad}{lp}{target} = {s.op}({target}, "
-                f"{print_expr(s.expr)}){at}{idc}\n")
+        return f"{pad}{lp}{target} {s.op}= {print_expr(s.expr)}{at}{idc}\n"
     if isinstance(s, S.Eval):
         return f"{pad}{lp}eval {print_expr(s.expr)}{idc}\n"
     if isinstance(s, S.Assert):
@@ -141,8 +143,17 @@ def print_ast(s: S.Stmt, indent: int = 0, show_ids: bool = False,
     if isinstance(s, S.Free):
         return f"{pad}free {s.var}{idc}\n"
     if isinstance(s, S.LibCall):
+        at = ""
+        if s.attrs:
+            # scalar attrs only (bool/int/float/str); JSON keeps the
+            # encoding unambiguous so the parser can round-trip them
+            import json
+
+            at = " /*attrs " + json.dumps(
+                {k: s.attrs[k] for k in sorted(s.attrs)},
+                sort_keys=True) + "*/"
         return (f"{pad}{lp}lib.{s.kind}({', '.join(s.outs)} <- "
-                f"{', '.join(s.args)}){idc}\n")
+                f"{', '.join(s.args)}){at}{idc}\n")
     if isinstance(s, S.Any):
         return f"{pad}<any>\n"
     raise TypeError(f"cannot print {type(s).__name__}")  # pragma: no cover

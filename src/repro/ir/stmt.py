@@ -26,6 +26,19 @@ def fresh_sid() -> str:
     return f"#{next(_sid_counter)}"
 
 
+def bump_sid_counter(past: int):
+    """Ensure future :func:`fresh_sid` values are numbered beyond
+    ``past``.
+
+    Loading IR serialized by another process (``repro.cache.serial``)
+    can introduce sids minted by that process's counter; bumping keeps
+    this process's counter from ever re-minting one of them.
+    """
+    global _sid_counter
+    nxt = next(_sid_counter)
+    _sid_counter = itertools.count(max(nxt, int(past) + 1))
+
+
 #: Python source spans by statement id: sid -> (filename, line). Keyed by
 #: sid rather than stored on the node so spans survive every transformation
 #: that preserves statement identity (``Mutator._copy_identity`` and the

@@ -124,7 +124,17 @@ def compile_ir(func: Func, backend: str = "pycode", target=None,
     calls it, and the verify CLI calls it with the same defaults, so
     CLI-verified IR is bit-identical (same ``struct_hash``) to what a
     build compiles.
+
+    When a warm compile daemon is listening (``python -m repro.cached``)
+    the whole job is delegated to it; any daemon-side problem falls back
+    to compiling locally (see ``repro.cache.client``).
     """
+    from ..cache.client import maybe_daemon_compile
+
+    served = maybe_daemon_compile(func, backend=backend, target=target,
+                                  optimize=optimize, times=times)
+    if served is not None:
+        return served
     if optimize:
         from ..autosched import auto_schedule
 

@@ -23,8 +23,15 @@ sequence buys three things at once:
   the builders in ``repro.pipeline`` append them, so codegen never
   special-cases IR shapes it cannot emit.
 
+The in-memory cache is backed by the persistent cross-process store in
+``repro.cache``: on a full memory miss the pipeline probes the store
+deepest-first along its chain key (canonicalised to be process-
+independent) and installs hits back into memory; the terminal output of
+a cold cacheable segment is written through. See docs/PERFORMANCE.md.
+
 Escape hatches: ``REPRO_NO_PASS_CACHE=1`` disables the per-pass cache
-(``REPRO_NO_LOWER_CACHE=1`` is honoured as its pre-pipeline alias).
+(``REPRO_NO_LOWER_CACHE=1`` is honoured as its pre-pipeline alias);
+``REPRO_NO_DISK_CACHE=1`` disables the persistent store only.
 """
 
 from __future__ import annotations
@@ -58,7 +65,7 @@ from ..ir import Func
 #: sid afterwards.
 _PASS_CACHE: Dict[Tuple[str, str], Func] = {}
 _PASS_CACHE_LIMIT = 512
-_PASS_CACHE_STATS = {"hits": 0, "misses": 0}
+_PASS_CACHE_STATS = {"hits": 0, "misses": 0, "disk_hits": 0}
 
 #: monotonic index for REPRO_DUMP_IR run directories (no timestamps: runs
 #: stay ordered and reproducible within one process)
@@ -88,7 +95,17 @@ def _hash(func: Func) -> str:
     return struct_hash(func, include_sids=True)
 
 
-def composite_cache_lookup(name: str, key: str) -> Optional[Func]:
+def _disk_store():
+    """The persistent store handle, or None when disk caching is off."""
+    from ..cache import store as disk_store
+
+    return disk_store.get_store()
+
+
+def composite_cache_lookup(name: str, key: str,
+                           input_func: Optional[Func] = None,
+                           disk_extra: Optional[str] = None,
+                           ) -> Optional[Func]:
     """Look up a composite (whole-sub-pipeline) result under pass-cache
     entry ``(name, key)``; returns the Func or None.
 
@@ -98,23 +115,51 @@ def composite_cache_lookup(name: str, key: str) -> Optional[Func]:
     its input, so serving the stored object keeps repeated optimized
     compiles of one program — build(), then the verify CLI — bit-identical
     down to sids.
+
+    ``input_func`` + ``disk_extra`` opt the entry into the persistent
+    store: on a memory miss the disk is probed under the *canonical*
+    (process-independent) key derived from ``input_func`` plus the
+    ``disk_extra`` discriminator, and a disk hit is installed in memory
+    under ``(name, key)`` so repeats stay bit-identical in-process.
     """
     if not _cache_enabled():
         return None
     entry = _PASS_CACHE.get((name, key))
-    if entry is None:
-        _PASS_CACHE_STATS["misses"] += 1
-        return None
-    _PASS_CACHE_STATS["hits"] += 1
-    return entry
+    if entry is not None:
+        _PASS_CACHE_STATS["hits"] += 1
+        return entry
+    if input_func is not None:
+        disk = _disk_store()
+        if disk is not None:
+            from ..cache.serial import canonical_key
+
+            canon, sids = canonical_key(input_func)
+            func = disk.ir_lookup(name, f"{canon}|{disk_extra or ''}", sids)
+            if func is not None:
+                _PASS_CACHE_STATS["disk_hits"] += 1
+                if len(_PASS_CACHE) >= _PASS_CACHE_LIMIT:
+                    _PASS_CACHE.clear()  # pragma: no cover
+                _PASS_CACHE[(name, key)] = func
+                return func
+    _PASS_CACHE_STATS["misses"] += 1
+    return None
 
 
-def composite_cache_store(name: str, key: str, func: Func):
+def composite_cache_store(name: str, key: str, func: Func,
+                          input_func: Optional[Func] = None,
+                          disk_extra: Optional[str] = None):
     if not _cache_enabled():
         return
     if len(_PASS_CACHE) >= _PASS_CACHE_LIMIT:
         _PASS_CACHE.clear()  # pragma: no cover
     _PASS_CACHE[(name, key)] = func
+    if input_func is not None:
+        disk = _disk_store()
+        if disk is not None:
+            from ..cache.serial import canonical_key
+
+            canon, sids = canonical_key(input_func)
+            disk.ir_store(name, f"{canon}|{disk_extra or ''}", sids, func)
 
 
 class Pass:
@@ -201,6 +246,7 @@ class Pipeline:
         cur = func
         n = len(self.passes)
         i = 0
+        disk = _disk_store() if use_cache else None
         # The chain anchors at a struct-hash of the current tree and
         # extends by pass name: pass outputs are pure functions of
         # (anchor tree, passes since), so no intermediate tree is ever
@@ -208,15 +254,34 @@ class Pipeline:
         # the input tree) invalidates the anchor; the next cacheable
         # pass re-hashes.
         chain: Optional[str] = None
+        # Disk twin of the chain: [anchor tree, pass names since anchor,
+        # memoized canonical_key(anchor)]. The canonical (preorder-sid-
+        # renumbered) hash is process-independent, so it — not the
+        # absolute-sid chain — keys the persistent store. Computed only
+        # when the disk is actually consulted.
+        anchor: Optional[list] = None
+
+        def disk_key(upto: int) -> Tuple[str, List[str]]:
+            from ..cache.serial import canonical_key
+
+            if anchor[2] is None:
+                anchor[2] = canonical_key(anchor[0])
+            canon, sids = anchor[2]
+            names = anchor[1] + [self.passes[m].name
+                                 for m in range(i, upto + 1)]
+            return canon + "|" + "|".join(names), sids
+
         while i < n:
             p = self.passes[i]
             if not (use_cache and p.cacheable):
                 cur = live(p, cur, False)
                 chain = None
+                anchor = None
                 i += 1
                 continue
             if chain is None:
                 chain = _hash(cur)
+                anchor = [cur, [], None]
             # the contiguous cacheable segment starting here, with each
             # pass's chain key
             j = i
@@ -234,9 +299,27 @@ class Pipeline:
                 if out is not None:
                     hit_idx = k
                     break
+            # full memory miss: probe the persistent store, deepest first
+            from_disk = False
+            if hit_idx is None and disk is not None:
+                for k in range(j - 1, i - 1, -1):
+                    dkey, sids = disk_key(k)
+                    out = disk.ir_lookup("pass", dkey, sids)
+                    if out is not None:
+                        hit_idx = k
+                        from_disk = True
+                        break
             if hit_idx is not None:
                 dt = time.perf_counter() - t0
-                _PASS_CACHE_STATS["hits"] += hit_idx - i + 1
+                covered = hit_idx - i + 1
+                if from_disk:
+                    _PASS_CACHE_STATS["disk_hits"] += covered
+                    # install in memory so in-process repeats skip disk
+                    if len(_PASS_CACHE) >= _PASS_CACHE_LIMIT:
+                        _PASS_CACHE.clear()  # pragma: no cover
+                    _PASS_CACHE[keys[hit_idx - i]] = out
+                else:
+                    _PASS_CACHE_STATS["hits"] += covered
                 for k in range(i, hit_idx + 1):
                     name = self.passes[k].name
                     d = dt if k == hit_idx else 0.0
@@ -246,6 +329,8 @@ class Pipeline:
                 cur = out
                 chain = keys[hit_idx - i][1] + "|" + \
                     self.passes[hit_idx].name
+                anchor[1].extend(self.passes[k].name
+                                 for k in range(i, hit_idx + 1))
                 i = hit_idx + 1
                 continue
             # cold segment: run it live, store only its terminal output
@@ -255,7 +340,11 @@ class Pipeline:
             if len(_PASS_CACHE) >= _PASS_CACHE_LIMIT:
                 _PASS_CACHE.clear()  # pragma: no cover
             _PASS_CACHE[keys[j - 1 - i]] = cur
+            if disk is not None:
+                dkey, sids = disk_key(j - 1)
+                disk.ir_store("pass", dkey, sids, cur)
             chain = ch
+            anchor[1].extend(self.passes[k].name for k in range(i, j))
             i = j
         return cur
 

@@ -65,6 +65,79 @@ def reset_pipeline_stats():
 
 
 # ---------------------------------------------------------------------------
+# Persistent (on-disk) compile-cache counters (see repro.cache and
+# docs/PERFORMANCE.md): IR entry hits/misses with lookup/store latency,
+# native-artifact (.so) reuse vs fresh gcc runs, and compile-daemon
+# round-trips.
+# ---------------------------------------------------------------------------
+
+_DISK_STATS = {
+    "ir_hits": 0,          # IR entries served from disk
+    "ir_misses": 0,        # disk lookups that found nothing
+    "ir_stores": 0,        # IR entries written
+    "ir_corrupt": 0,       # truncated/garbled entries treated as misses
+    "ir_unserializable": 0,  # funcs the serializer refused to store
+    "lookup_time_s": 0.0,
+    "store_time_s": 0.0,
+    "native_hits": 0,      # compiled .so found in the shared store
+    "native_misses": 0,
+    "gcc_runs": 0,         # actual C-compiler subprocess invocations
+    "gcc_time_s": 0.0,
+    "evictions": 0,        # entries removed by LRU GC
+    "daemon_compiles": 0,  # compiles served by the warm daemon
+    "daemon_fallbacks": 0,  # daemon configured but unusable: compiled locally
+    "daemon_time_s": 0.0,
+}
+
+
+def record_disk_lookup(hit: bool, seconds: float = 0.0):
+    _DISK_STATS["ir_hits" if hit else "ir_misses"] += 1
+    _DISK_STATS["lookup_time_s"] += seconds
+
+
+def record_disk_store(seconds: float = 0.0):
+    _DISK_STATS["ir_stores"] += 1
+    _DISK_STATS["store_time_s"] += seconds
+
+
+def record_disk_corrupt():
+    _DISK_STATS["ir_corrupt"] += 1
+
+
+def record_disk_unserializable():
+    _DISK_STATS["ir_unserializable"] += 1
+
+
+def record_disk_evictions(n: int):
+    _DISK_STATS["evictions"] += int(n)
+
+
+def record_native(hit: bool):
+    _DISK_STATS["native_hits" if hit else "native_misses"] += 1
+
+
+def record_gcc_run(seconds: float):
+    _DISK_STATS["gcc_runs"] += 1
+    _DISK_STATS["gcc_time_s"] += seconds
+
+
+def record_daemon(served: bool, seconds: float = 0.0):
+    _DISK_STATS["daemon_compiles" if served else "daemon_fallbacks"] += 1
+    _DISK_STATS["daemon_time_s"] += seconds
+
+
+def disk_cache_stats() -> Dict[str, float]:
+    """Cumulative persistent-cache counters for this process (IR entries,
+    native artifacts, GC evictions, daemon round-trips)."""
+    return dict(_DISK_STATS)
+
+
+def reset_disk_cache_stats():
+    for k in _DISK_STATS:
+        _DISK_STATS[k] = 0.0 if k.endswith("_s") else 0
+
+
+# ---------------------------------------------------------------------------
 # Verifier pass/fail counters (published by the CI verify-workloads job)
 # ---------------------------------------------------------------------------
 

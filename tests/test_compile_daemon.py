@@ -1,0 +1,126 @@
+"""The warm compile daemon (python -m repro.cached).
+
+A real daemon subprocess serves a real client subprocess; a dead socket
+must degrade to local compilation, invisibly.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _env(tmp_path, **extra):
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_")}
+    env["PYTHONPATH"] = _SRC
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["REPRO_DAEMON_SOCK"] = str(tmp_path / "daemon.sock")
+    env.update(extra)
+    return env
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    env = _env(tmp_path)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cached"], env=env, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    sock = env["REPRO_DAEMON_SOCK"]
+    for _ in range(100):
+        if os.path.exists(sock):
+            break
+        time.sleep(0.1)
+    else:
+        proc.kill()
+        pytest.fail(f"daemon never bound {sock}:\n{proc.stdout.read()}")
+    yield env
+    proc.terminate()
+    proc.wait(timeout=30)
+
+
+_CLIENT = """
+import json
+import numpy as np
+import repro as ft
+from repro.runtime.driver import build
+from repro.workloads import gat
+exe = build(gat.make_program(), backend="pycode", optimize=True)
+data = gat.make_data()
+out = exe(data["indptr"], data["indices"], data["h"], data["wmat"],
+          data["att_s"], data["att_d"])
+np.testing.assert_allclose(out, gat.reference(data), rtol=1e-3,
+                           atol=1e-4)
+d = ft.compile_cache_stats()["disk"]
+print(json.dumps({"compiles": d["daemon_compiles"],
+                  "fallbacks": d["daemon_fallbacks"]}))
+"""
+
+
+def _run_client(env):
+    out = subprocess.run([sys.executable, "-c", _CLIENT], env=env,
+                         text=True, capture_output=True, check=True)
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+class TestDaemon:
+
+    def test_client_compiles_through_daemon(self, daemon):
+        stats = _run_client(daemon)
+        assert stats["compiles"] == 1
+        assert stats["fallbacks"] == 0
+
+    def test_ping_stats_shutdown(self, daemon, tmp_path):
+        code = """
+import json
+from repro.cache.client import request
+from repro.cache.keys import schema_tag
+ping = request({"op": "ping"})
+assert ping["ok"] and ping["schema"] == schema_tag()
+stats = request({"op": "stats"})
+assert stats["ok"] and "compiles" in stats["stats"]
+assert request({"op": "shutdown"})["ok"]
+print("done")
+"""
+        out = subprocess.run([sys.executable, "-c", code], env=daemon,
+                             text=True, capture_output=True, check=True)
+        assert "done" in out.stdout
+
+    def test_schema_mismatch_refused(self, daemon):
+        code = """
+from repro.cache.client import request
+from repro.cache.serial import encode_func
+from repro.workloads import gat
+r = request({"op": "compile", "schema": "v0-stale", "backend": "pycode",
+             "optimize": False, "target": None,
+             "func": encode_func(gat.make_program().func)})
+assert not r["ok"] and "schema" in r["error"], r
+print("refused")
+"""
+        out = subprocess.run([sys.executable, "-c", code], env=daemon,
+                             text=True, capture_output=True, check=True)
+        assert "refused" in out.stdout
+
+
+class TestFallback:
+
+    def test_stale_socket_falls_back_locally(self, tmp_path):
+        # socket path exists but nothing is listening: the client must
+        # compile locally and still produce a correct executable
+        env = _env(tmp_path)
+        open(env["REPRO_DAEMON_SOCK"], "w").close()
+        stats = _run_client(env)
+        assert stats["compiles"] == 0
+        assert stats["fallbacks"] >= 1
+
+    def test_no_daemon_env_never_connects(self, tmp_path):
+        env = _env(tmp_path, REPRO_NO_DAEMON="1")
+        open(env["REPRO_DAEMON_SOCK"], "w").close()
+        stats = _run_client(env)
+        assert stats["compiles"] == 0
+        assert stats["fallbacks"] == 0

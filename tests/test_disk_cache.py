@@ -1,0 +1,211 @@
+"""The persistent cross-process compile cache (repro.cache).
+
+The suite runs with ``REPRO_NO_DISK_CACHE=1`` (see conftest); tests here
+opt in by re-pointing ``REPRO_CACHE_DIR`` at a tmp_path, either in this
+process via monkeypatch or in subprocesses for the cross-process
+guarantees.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro as ft
+from repro.cache import keys as cache_keys
+from repro.ir import struct_hash
+from repro.cache.serial import canonical_key, preorder_sids
+from repro.cache.store import DiskCache, get_store
+from repro.pipeline import build_pipeline, clear_pass_cache
+from repro.pipeline.manager import pass_cache_stats
+from repro.workloads import gat
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+@pytest.fixture
+def disk_env(monkeypatch, tmp_path):
+    """Point the persistent cache at a fresh directory and enable it."""
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    from repro.codegen import ccode
+
+    ccode._invalidate_cache_dir()
+    clear_pass_cache()
+    yield str(tmp_path / "cache")
+    ccode._invalidate_cache_dir()
+    clear_pass_cache()
+
+
+def _subenv(cache_dir, **extra):
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_")}
+    env["PYTHONPATH"] = _SRC
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env["REPRO_NO_DAEMON"] = "1"
+    env.update(extra)
+    return env
+
+
+def _run_py(code, cache_dir, **extra):
+    return subprocess.run([sys.executable, "-c", code], text=True,
+                          capture_output=True, check=True,
+                          env=_subenv(cache_dir, **extra))
+
+
+class TestStore:
+
+    def test_pipeline_populates_and_serves(self, disk_env):
+        func = gat.make_program().func
+        out1 = build_pipeline("pycode").run(func)
+        store = get_store()
+        assert store is not None
+        assert store.disk_stats()["ir_entries"] >= 1
+        # wipe memory: the same compile must now come from disk
+        clear_pass_cache()
+        before = pass_cache_stats()["disk_hits"]
+        out2 = build_pipeline("pycode").run(gat.make_program().func)
+        assert pass_cache_stats()["disk_hits"] > before
+        assert struct_hash(out2) == struct_hash(out1)
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, disk_env):
+        build_pipeline("pycode").run(gat.make_program().func)
+        store = get_store()
+        entries = []
+        for dirpath, _dirs, files in os.walk(store.ir_dir()):
+            entries += [os.path.join(dirpath, f) for f in files
+                        if f.endswith(".json")]
+        assert entries
+        for path in entries:  # truncate one, garbage the rest
+            with open(path, "w") as f:
+                f.write('{"fmt": 1, "input_sids": [')
+        clear_pass_cache()
+        before = ft.compile_cache_stats()["disk"]["ir_corrupt"]
+        out = build_pipeline("pycode").run(gat.make_program().func)
+        assert out is not None  # recompiled cleanly
+        assert ft.compile_cache_stats()["disk"]["ir_corrupt"] > before
+        # every corrupt entry was dropped (and possibly re-written with
+        # good content by the recompile); none of the garbage survives
+        for path in entries:
+            if os.path.exists(path):
+                with open(path) as f:
+                    json.load(f)  # valid again
+
+    def test_opt_out_env_disables_everything(self, disk_env, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        assert get_store() is None
+        build_pipeline("pycode").run(gat.make_program().func)
+        assert not os.path.exists(os.path.join(disk_env, "ir"))
+
+    def test_schema_change_invalidates(self, disk_env, monkeypatch):
+        build_pipeline("pycode").run(gat.make_program().func)
+        store = get_store()
+        n = store.disk_stats()["ir_entries"]
+        assert n >= 1
+        # a compiler-source change moves the namespace: nothing is
+        # served, and recompiling writes fresh entries beside the old
+        monkeypatch.setattr(cache_keys, "_SCHEMA_TAG",
+                            "v1-py0.0-deadbeefdeadbeefdeadbeef")
+        clear_pass_cache()
+        before = pass_cache_stats()["disk_hits"]
+        build_pipeline("pycode").run(gat.make_program().func)
+        assert pass_cache_stats()["disk_hits"] == before
+        assert store.disk_stats()["ir_entries"] > n
+
+    def test_lru_gc_respects_budget_and_recency(self, disk_env):
+        store = DiskCache(os.path.join(disk_env))
+        d = os.path.join(store.root, "ir", "vtest", "aa")
+        os.makedirs(d)
+        for i in range(10):
+            with open(os.path.join(d, f"e{i}.json"), "w") as f:
+                f.write("x" * 1000)
+            os.utime(os.path.join(d, f"e{i}.json"), (i, i))
+        evicted = store.gc(budget=4500)
+        assert evicted == 6
+        survivors = sorted(os.listdir(d))
+        assert survivors == ["e6.json", "e7.json", "e8.json", "e9.json"]
+
+    def test_clear_removes_all(self, disk_env):
+        build_pipeline("pycode").run(gat.make_program().func)
+        store = get_store()
+        assert store.disk_stats()["ir_entries"] >= 1
+        store.clear()
+        assert store.disk_stats()["total_bytes"] == 0
+
+
+class TestCanonicalKeys:
+
+    def test_canonical_key_ignores_absolute_sids(self):
+        # two stagings of one program mint different sids but must agree
+        # on the canonical hash (this is what makes cross-process disk
+        # keys possible at all)
+        f1 = gat.make_program().func
+        f2 = gat.make_program().func
+        assert preorder_sids(f1) != preorder_sids(f2)
+        assert canonical_key(f1)[0] == canonical_key(f2)[0]
+
+    def test_schema_tag_tracks_compiler_sources(self):
+        tag = cache_keys.schema_tag()
+        assert tag.startswith(f"v{cache_keys.CACHE_FORMAT}-py")
+        assert cache_keys.source_digest() in tag
+
+
+_COMPILE_SNIPPET = """
+import json
+import repro as ft
+from repro.runtime.driver import build
+from repro.workloads import gat
+exe = build(gat.make_program(), backend="c")
+stats = ft.compile_cache_stats()
+print(json.dumps({
+    "pass": stats["passes"], "disk": stats["disk"],
+}))
+"""
+
+
+class TestCrossProcess:
+    """The acceptance bar: a fresh process building an already-cached
+    workload performs no lowering passes and no compiler invocation."""
+
+    def test_cold_then_warm_process(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = json.loads(_run_py(_COMPILE_SNIPPET, cache_dir).stdout)
+        assert cold["pass"]["misses"] > 0
+        assert cold["disk"]["gcc_runs"] == 1
+        assert cold["disk"]["ir_stores"] >= 1
+
+        warm = json.loads(_run_py(_COMPILE_SNIPPET, cache_dir).stdout)
+        assert warm["pass"]["misses"] == 0, \
+            "warm process must not execute any lowering pass"
+        assert warm["pass"]["disk_hits"] > 0
+        assert warm["disk"]["gcc_runs"] == 0, \
+            "warm process must not invoke the C compiler"
+        assert warm["disk"]["native_hits"] >= 1
+        assert warm["disk"]["ir_hits"] >= 1
+
+    def test_two_processes_racing_one_key(self, tmp_path):
+        # both processes compile the same workload into an empty cache
+        # concurrently: no crashes, both correct, cache consistent
+        cache_dir = str(tmp_path / "cache")
+        code = _COMPILE_SNIPPET + """
+import numpy as np
+data = gat.make_data()
+out = exe(data["indptr"], data["indices"], data["h"], data["wmat"],
+          data["att_s"], data["att_d"])
+np.testing.assert_allclose(out, gat.reference(data), rtol=1e-3,
+                           atol=1e-4)
+"""
+        env = _subenv(cache_dir)
+        procs = [subprocess.Popen([sys.executable, "-c", code],
+                                  text=True, stdout=subprocess.PIPE,
+                                  stderr=subprocess.PIPE, env=env)
+                 for _ in range(2)]
+        for p in procs:
+            out, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err
+        # and a third process is fully warm
+        warm = json.loads(_run_py(_COMPILE_SNIPPET, cache_dir).stdout)
+        assert warm["pass"]["misses"] == 0
+        assert warm["disk"]["gcc_runs"] == 0

@@ -1,0 +1,145 @@
+"""Serialization fidelity of the persistent cache's IR format.
+
+The printer→parser round-trip must preserve the *sid-inclusive*
+structure hash — statement identity included — for every workload, raw
+and optimized, because disk-cache entries are exactly these texts and a
+lossy corner would poison every process on the machine.
+"""
+
+import pytest
+
+import repro as ft
+from repro.autosched import CPU, auto_schedule
+from repro.cache.serial import (canonical_key, decode_entry, decode_func,
+                                encode_entry, encode_func, preorder_sids)
+from repro.ir import For, Func, LibCall, dump, struct_hash
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.parser import parse_program
+from repro.pipeline import build_pipeline
+from repro.workloads import gat, longformer, softras, subdivnet
+
+_WORKLOADS = {
+    "gat": gat,
+    "longformer": longformer,
+    "softras": softras,
+    "subdivnet": subdivnet,
+}
+
+
+def _roundtrip_ok(func: Func):
+    payload = encode_func(func)
+    assert payload is not None, "workload IR must be serializable"
+    back = decode_func(payload)
+    # canonical (process-independent) identity is preserved exactly
+    assert canonical_key(back)[0] == canonical_key(func)[0]
+    # and the text re-dumps identically
+    assert dump(back) == dump(func)
+
+
+@pytest.mark.parametrize("name", sorted(_WORKLOADS))
+class TestWorkloadRoundTrip:
+
+    def test_staged(self, name):
+        _roundtrip_ok(_WORKLOADS[name].make_program().func)
+
+    def test_optimized(self, name):
+        func = auto_schedule(_WORKLOADS[name].make_program(),
+                             target=CPU, backend="c")
+        _roundtrip_ok(build_pipeline("c").run(func))
+
+
+class TestEntryTranslation:
+
+    def test_entry_maps_onto_consumer_sids(self):
+        func = gat.make_program().func
+        sids = preorder_sids(func)
+        entry = encode_entry(func, sids)
+        assert entry is not None
+        out = decode_entry(entry, sids)
+        assert struct_hash(out, include_sids=True) == \
+            struct_hash(func, include_sids=True)
+
+    def test_sid_length_mismatch_rejected(self):
+        func = gat.make_program().func
+        entry = encode_entry(func, preorder_sids(func))
+        with pytest.raises(ValueError):
+            decode_entry(entry, ["#1"])
+
+    def test_unknown_payload_format_rejected(self):
+        func = gat.make_program().func
+        payload = encode_func(func)
+        payload["fmt"] = 999
+        with pytest.raises(ValueError):
+            decode_func(payload)
+
+    def test_captured_constants_are_unserializable(self):
+        # init_data (frontend capture()) is not in the textual format;
+        # the encoder must refuse rather than drop the data
+        func = gat.make_program().func
+        vd = next(s for s in _walk(func.body) if isinstance(s, S.VarDef))
+        vd.init_data = [1.0, 2.0]
+        try:
+            assert encode_func(func) is None
+        finally:
+            vd.init_data = None
+
+
+def _walk(stmt):
+    yield stmt
+    for c in stmt.children_stmts():
+        yield from _walk(c)
+
+
+class TestPrinterParserCoverage:
+    """The printed-format corners the persistent cache depends on."""
+
+    def test_minmax_reduction_roundtrip(self):
+        body = S.VarDef(
+            "a", (4,), "f32", "inout", "cpu",
+            S.For("i", 0, 4, S.seq([
+                S.ReduceTo("a", (E.Var("i"),), "max", 1.0),
+                S.ReduceTo("a", (E.Var("i"),), "min", 0.5),
+            ])))
+        func = Func("f", ["a"], [], body)
+        back = parse_program(dump(func))
+        reds = [s for s in _walk(back.body)
+                if isinstance(s, S.ReduceTo)]
+        assert [r.op for r in reds] == ["max", "min"]
+        assert dump(back) == dump(func)
+
+    def test_for_no_deps_and_prefer_libs_roundtrip(self):
+        func = gat.make_program().func
+        loop = next(s for s in _walk(func.body) if isinstance(s, For))
+        loop.property.no_deps = ("x", "y")
+        loop.property.prefer_libs = True
+        back = parse_program(dump(func))
+        loop2 = next(s for s in _walk(back.body) if isinstance(s, For))
+        assert loop2.property.no_deps == ("x", "y")
+        assert loop2.property.prefer_libs
+
+    def test_libcall_attrs_roundtrip(self):
+        func = softras.make_program().func
+        lib = LibCall("matmul", ("c",), ("a", "b"),
+                      {"trans_a": True, "trans_b": False,
+                       "accumulate": True})
+        body = S.StmtSeq([func.body, lib])
+        f2 = Func("withlib", func.params, func.returns, body,
+                  scalar_params=func.scalar_params)
+        back = parse_program(dump(f2))
+        lib2 = next(s for s in _walk(back.body)
+                    if isinstance(s, LibCall))
+        assert lib2.attrs == {"trans_a": True, "trans_b": False,
+                              "accumulate": True}
+
+    def test_pinned_vardef_roundtrip(self):
+        func = gat.make_program().func
+        vd = next(s for s in _walk(func.body) if isinstance(s, S.VarDef))
+        vd.pinned = True
+        try:
+            back = parse_program(dump(func))
+            vd2 = next(s for s in _walk(back.body)
+                       if isinstance(s, S.VarDef) and s.name == vd.name)
+            assert vd2.pinned
+        finally:
+            vd.pinned = False

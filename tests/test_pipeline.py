@@ -143,7 +143,7 @@ class TestPassCache:
 
     def test_compile_cache_stats_reports_passes(self):
         stats = ft.compile_cache_stats()
-        assert set(stats["passes"]) == {"hits", "misses"}
+        assert set(stats["passes"]) == {"hits", "misses", "disk_hits"}
 
 
 class TestDumpIR:
