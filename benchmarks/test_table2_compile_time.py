@@ -54,6 +54,14 @@ def test_compile_time(benchmark, name):
            result.time_per_round)
     record("table2_compile_time", name, "ft_fraction_of_tuner",
            round(ft_time / result.total_time, 4))
+    # the cost-model screening front-end (docs/PERFORMANCE.md): rounds
+    # that skipped compile+measure via dedup or dominance pruning
+    record("table2_compile_time", name, "tuner_measured",
+           result.measured)
+    record("table2_compile_time", name, "tuner_dedup_skips",
+           result.dedup_skips)
+    record("table2_compile_time", name, "tuner_cost_pruned",
+           result.cost_pruned)
 
     # the paper's shape: one-shot transform is a small fraction of even a
     # heavily-truncated tuning session

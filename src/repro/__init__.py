@@ -48,6 +48,7 @@ __all__ = [
     "empty", "inline", "label", "ones", "transform", "zeros",
     "ceil", "cos", "erf", "exp", "floor", "log", "sigmoid", "sin", "sqrt",
     "tan", "tanh", "abs", "max", "min",
+    "analyze_cost", "perf_lint",
     "build_cache_stats", "clear_build_cache", "clear_compile_caches",
     "compile_cache_stats",
     "__version__",
@@ -99,6 +100,10 @@ def __getattr__(name):
         from .schedule.schedule import Schedule
 
         return Schedule
+    if name in ("analyze_cost", "perf_lint"):
+        from .analysis import cost
+
+        return getattr(cost, name)
     if name in ("build_cache_stats", "clear_build_cache"):
         from .runtime import driver
 

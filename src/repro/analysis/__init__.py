@@ -14,4 +14,18 @@ __all__ = [
     "Dependence", "DepAnalyzer", "DirItem", "analysis_cache_stats",
     "analyze", "analyzer_for", "clear_analysis_cache",
     "Diagnostic", "Diagnostics", "verify",
+    "CostEstimate", "analyze_cost", "estimate_cost", "perf_lint",
 ]
+
+
+def __getattr__(name):
+    # the cost model loads lazily: it pulls in the access/bounds layers
+    # plus the scheduler's target table, none of which `import
+    # repro.analysis` itself should pay for
+    if name in ("CostEstimate", "Counts", "analyze_cost", "estimate_cost",
+                "perf_lint", "infer_scalar_env", "clear_cost_memo"):
+        from . import cost
+
+        return getattr(cost, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -18,12 +18,22 @@ from .diagnostics import SEVERITY_ORDER, Diagnostic, Diagnostics
 from .lint import check_lint
 from .races import check_races
 
+
+def _check_perf(func):
+    # lazy: the perf lint rides on the cost model, which must not load
+    # (and must not import the scheduler) just because verify() ran
+    from ..cost.lint import check_perf
+
+    return check_perf(func)
+
+
 #: analysis registry, in report order
 ANALYSES = (
     ("bounds", check_bounds),
     ("races", check_races),
     ("defuse", check_defuse),
     ("lint", check_lint),
+    ("perf", _check_perf),
 )
 
 
@@ -53,7 +63,9 @@ def verify(func_or_program,
 
     ``level`` is the least severe finding to keep (``"error"`` silences
     warnings). ``analyses`` restricts to a subset of
-    ``("bounds", "races", "defuse", "lint")``; default is all of them.
+    ``("bounds", "races", "defuse", "lint", "perf")``; by default all of
+    them run except that ``perf`` (whose findings are all info severity)
+    is skipped unless ``level="info"`` asks for info findings.
     """
     func = _as_func(func_or_program)
     if level not in SEVERITY_ORDER:
@@ -68,12 +80,17 @@ def verify(func_or_program,
             raise ValueError(
                 f"unknown analyses {sorted(bad)}; choose from "
                 f"{sorted(known)}")
+    max_rank = SEVERITY_ORDER[level]
     diags: List[Diagnostic] = []
     for name, check in ANALYSES:
         if analyses is not None and name not in analyses:
             continue
+        if analyses is None and name == "perf" \
+                and max_rank < SEVERITY_ORDER["info"]:
+            # every perf finding is info severity: skip the (cost-model
+            # + dependence) work when the report would drop them anyway
+            continue
         diags.extend(check(func))
-    max_rank = SEVERITY_ORDER[level]
     diags = [d for d in diags if SEVERITY_ORDER[d.severity] <= max_rank]
     diags.sort(key=_sort_key)
     report = Diagnostics(diags, func_name=func.name)

@@ -8,34 +8,70 @@ round draws a random schedule (splits, reorders, vectorize/parallelize
 markings), compiles it with a real backend, measures it on user-provided
 inputs, and keeps the best. The per-round compile+measure cost and the
 round count are what the Table-2 reproduction reports.
+
+Candidates pass through a static screening front-end before the expensive
+compile+measure step (see docs/PERFORMANCE.md, "Cost model & tuner
+pruning"):
+
+1. *dedup* — structurally identical candidates (sid-less
+   ``struct_hash``) are measured once; repeats are skipped.
+2. *dominance pruning* — each candidate is cost-analyzed
+   (``repro.analysis.cost``) and skipped when the incumbent best's
+   estimate is at least as good on **every** axis (op counts, sequential
+   critical path, stride penalty, footprint). Pruning is deliberately
+   conservative: a candidate that is better on *any* axis is still
+   measured, so a sound estimate never hides a potential winner.
+
+Set ``REPRO_NO_COST_PRUNE=1`` to disable the whole front-end and restore
+the measure-everything behaviour (identical results, more rounds
+measured). Skip counts are reported on :class:`TuneResult` and in
+``runtime.metrics.tuner_stats()``.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import FreeTensorError, InvalidSchedule
 from ..ir import For, Func, IntConst, collect_stmts
+from ..ir.hashing import struct_hash
 from ..schedule import Schedule
+from .target import default_target
 
 
 class TuneResult:
     """Outcome of a tuning session."""
 
     def __init__(self, best_func: Func, best_time: float,
-                 round_times: List[float], measure_times: List[float]):
+                 round_times: List[float], measure_times: List[float],
+                 dedup_skips: int = 0, cost_pruned: int = 0,
+                 pruned_funcs: Optional[List[Func]] = None):
         self.best_func = best_func
         self.best_time = best_time
-        #: wall-clock cost of each tuning round (compile + measure)
+        #: wall-clock cost of each tuning round (compile + measure, or
+        #: just generate + screen for skipped rounds)
         self.round_times = round_times
         #: measured candidate runtimes
         self.measure_times = measure_times
+        #: rounds skipped because the candidate was a structural repeat
+        self.dedup_skips = dedup_skips
+        #: rounds skipped because the incumbent's estimate dominated
+        self.cost_pruned = cost_pruned
+        #: the pruned candidates themselves (only with ``keep_pruned``)
+        self.pruned_funcs = pruned_funcs if pruned_funcs is not None \
+            else []
 
     @property
     def rounds(self) -> int:
         return len(self.round_times)
+
+    @property
+    def measured(self) -> int:
+        """Rounds that actually compiled and measured a candidate."""
+        return len(self.measure_times)
 
     @property
     def total_time(self) -> float:
@@ -52,7 +88,8 @@ class RandomTuner:
     def __init__(self, program_or_func, make_inputs: Callable[[], tuple],
                  backend: str = "pycode", rounds: int = 64,
                  seed: int = 0, repeats: int = 1,
-                 scalars: Optional[dict] = None):
+                 scalars: Optional[dict] = None,
+                 keep_pruned: bool = False):
         self.base = Schedule(program_or_func).func
         self.make_inputs = make_inputs
         self.backend = backend
@@ -60,6 +97,11 @@ class RandomTuner:
         self.rng = random.Random(seed)
         self.repeats = repeats
         self.scalars = scalars or {}
+        self.target = default_target(backend)
+        #: collect pruned candidates on the result (for differential
+        #: testing of the pruner; costs memory, off by default)
+        self.keep_pruned = keep_pruned
+        self._scalar_env: Optional[dict] = None
 
     # -- candidate generation ----------------------------------------------
     def _random_candidate(self) -> Func:
@@ -98,6 +140,67 @@ class RandomTuner:
         except FreeTensorError:
             pass  # illegal move: skip (the tuner samples blindly)
 
+    # -- static screening --------------------------------------------------
+    def _reset_screen(self):
+        self._screen_on = os.environ.get("REPRO_NO_COST_PRUNE") != "1"
+        self._seen: set = set()
+        self._best_est = None
+
+    def _infer_env(self) -> dict:
+        # Shape variables (loop bounds) are not in ``self.scalars`` —
+        # recover them from one materialized input set, the same arrays
+        # every measurement binds, so symbolic candidates are compared
+        # under their real trip counts.
+        if self._scalar_env is None:
+            from ..analysis.cost import infer_scalar_env
+
+            try:
+                arrays = self.make_inputs()
+            except Exception:
+                arrays = ()
+            self._scalar_env = infer_scalar_env(self.base, arrays,
+                                                self.scalars)
+        return self._scalar_env
+
+    def _estimate(self, func: Func):
+        # Estimate the standard-lowered tree, not the raw candidate: the
+        # backend compiles post-make_reduction/simplify IR, and vectorize
+        # feasibility (BackendCaps.vec_feasible) depends on those forms.
+        # The per-pass cache shares this lowering with the subsequent
+        # build of any candidate that survives screening.
+        from ..analysis.cost import estimate_cost
+        from ..pipeline import lowering_pipeline
+
+        try:
+            func = lowering_pipeline().run(func)
+        except FreeTensorError:  # pragma: no cover - fails in _measure too
+            pass
+        return estimate_cost(func, backend=self.backend,
+                             target=self.target,
+                             scalar_env=self._infer_env())
+
+    def _screen(self, cand: Func) -> Tuple[str, object]:
+        """Decide a candidate's fate before compiling it.
+
+        Returns ``(verdict, estimate)`` with verdict one of ``"measure"``
+        (go compile+measure), ``"dedup_skips"`` or ``"cost_pruned"``.
+        """
+        from ..runtime import metrics
+
+        if not self._screen_on:
+            return "measure", None
+        h = struct_hash(cand)  # sid-less: same structure, same schedule
+        if h in self._seen:
+            metrics.record_tuner_candidate("dedup_skips")
+            return "dedup_skips", None
+        self._seen.add(h)
+        est = self._estimate(cand)
+        if self._best_est is not None \
+                and self._best_est.dominates_or_equal(est):
+            metrics.record_tuner_candidate("cost_pruned")
+            return "cost_pruned", est
+        return "measure", est
+
     # -- measurement -------------------------------------------------------------
     def _measure(self, func: Func) -> float:
         from ..runtime.driver import build
@@ -113,24 +216,45 @@ class RandomTuner:
         return best
 
     def tune(self) -> TuneResult:
+        from ..runtime import metrics
+
         best_func = self.base
         best_time = float("inf")
         round_times: List[float] = []
         measure_times: List[float] = []
+        pruned_funcs: List[Func] = []
+        dedup_skips = cost_pruned = 0
+        self._reset_screen()
         for _r in range(self.rounds):
             t0 = time.perf_counter()
             cand = self._random_candidate()
+            verdict, est = self._screen(cand)
+            if verdict != "measure":
+                if verdict == "dedup_skips":
+                    dedup_skips += 1
+                else:
+                    cost_pruned += 1
+                    if self.keep_pruned:
+                        pruned_funcs.append(cand)
+                round_times.append(time.perf_counter() - t0)
+                continue
             try:
                 t = self._measure(cand)
             except FreeTensorError:
+                metrics.record_tuner_candidate("measure_failed")
                 round_times.append(time.perf_counter() - t0)
                 continue
+            metrics.record_tuner_candidate("measured")
             measure_times.append(t)
             if t < best_time:
                 best_time, best_func = t, cand
+                if est is not None:
+                    self._best_est = est
             round_times.append(time.perf_counter() - t0)
         return TuneResult(best_func, best_time, round_times,
-                          measure_times)
+                          measure_times, dedup_skips=dedup_skips,
+                          cost_pruned=cost_pruned,
+                          pruned_funcs=pruned_funcs)
 
 
 class EvolutionaryTuner(RandomTuner):
@@ -142,7 +266,8 @@ class EvolutionaryTuner(RandomTuner):
     transformation to it) or explores a fresh random schedule. On the
     same round budget this typically finds better schedules than blind
     random search because good partial schedules are refined rather than
-    rediscovered.
+    rediscovered. Shares the dedup + dominance-pruning front-end of
+    :class:`RandomTuner`.
     """
 
     def __init__(self, *args, population: int = 4,
@@ -152,9 +277,15 @@ class EvolutionaryTuner(RandomTuner):
         self.explore_prob = explore_prob
 
     def tune(self) -> TuneResult:
+        from ..runtime import metrics
+
         pool: List[Tuple[float, Func]] = []  # (time, func), best first
         round_times: List[float] = []
         measure_times: List[float] = []
+        pruned_funcs: List[Func] = []
+        dedup_skips = cost_pruned = 0
+        best_time = float("inf")
+        self._reset_screen()
         for _r in range(self.rounds):
             t0 = time.perf_counter()
             if not pool or self.rng.random() < self.explore_prob:
@@ -164,19 +295,37 @@ class EvolutionaryTuner(RandomTuner):
                 s = Schedule(parent)
                 self._random_step(s)
                 cand = s.func
+            verdict, est = self._screen(cand)
+            if verdict != "measure":
+                if verdict == "dedup_skips":
+                    dedup_skips += 1
+                else:
+                    cost_pruned += 1
+                    if self.keep_pruned:
+                        pruned_funcs.append(cand)
+                round_times.append(time.perf_counter() - t0)
+                continue
             try:
                 t = self._measure(cand)
             except FreeTensorError:
+                metrics.record_tuner_candidate("measure_failed")
                 round_times.append(time.perf_counter() - t0)
                 continue
+            metrics.record_tuner_candidate("measured")
             measure_times.append(t)
             pool.append((t, cand))
             pool.sort(key=lambda p: p[0])
             del pool[self.population:]
+            if t < best_time:
+                best_time = t
+                if est is not None:
+                    self._best_est = est
             round_times.append(time.perf_counter() - t0)
         if pool:
             best_time, best_func = pool[0]
         else:  # pragma: no cover - nothing measured
             best_time, best_func = float("inf"), self.base
         return TuneResult(best_func, best_time, round_times,
-                          measure_times)
+                          measure_times, dedup_skips=dedup_skips,
+                          cost_pruned=cost_pruned,
+                          pruned_funcs=pruned_funcs)

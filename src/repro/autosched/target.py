@@ -2,13 +2,60 @@
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
+
+class BackendCaps:
+    """What a (backend, target) pair actually does with parallel/vector
+    annotations — the capability table behind the cost model's
+    exploited-parallelism axis (see docs/PERFORMANCE.md).
+
+    ``capacity(kind)`` is the hardware lane count a ``For`` bound to
+    parallel kind ``kind`` is spread over: 1 means the annotation is a
+    no-op on this backend, None means effectively unbounded (every
+    iteration gets a lane). ``vector_width`` is the SIMD width applied to
+    ``vectorize`` loops; None means the whole loop becomes one vector
+    kernel (the NumPy lowering). ``vec_feasible`` is the backend's own
+    legality predicate for honouring a ``vectorize`` marking on a given
+    ``For`` (None = always honoured): the code generators silently fall
+    back to plain loops on shapes they cannot vectorize, and the cost
+    model must model that fallback, not the annotation. ``stride_matters``
+    is False on backends whose per-element cost is interpretation
+    overhead rather than memory latency.
+    """
+
+    __slots__ = ("backend", "vector_width", "stride_matters", "_parallel",
+                 "vec_feasible")
+
+    def __init__(self, backend: str, parallel: dict,
+                 vector_width: Optional[int], stride_matters: bool,
+                 vec_feasible: Optional[Callable] = None):
+        self.backend = backend
+        self._parallel = dict(parallel)
+        self.vector_width = vector_width
+        self.stride_matters = stride_matters
+        self.vec_feasible = vec_feasible
+
+    def capacity(self, kind: str) -> Optional[int]:
+        """Lane count for parallel kind ``kind`` (e.g. ``openmp``,
+        ``cuda.blockIdx.x``); 1 when the backend ignores it."""
+        for prefix, cap in self._parallel.items():
+            if kind == prefix or kind.startswith(prefix + "."):
+                return cap
+        return 1
+
+    def __repr__(self):  # pragma: no cover
+        return (f"BackendCaps({self.backend}, vec={self.vector_width}, "
+                f"parallel={self._parallel})")
+
 
 class Target:
     """Hardware the auto-scheduler optimises for."""
 
     def __init__(self, kind: str, name: str, num_threads: int = 1,
                  block_size: int = 256, max_local_elems: int = 64,
-                 max_shared_elems: int = 4096, unroll_limit: int = 4):
+                 max_shared_elems: int = 4096, unroll_limit: int = 4,
+                 vector_width: int = 8):
         assert kind in ("cpu", "gpu")
         self.kind = kind
         self.name = name
@@ -18,12 +65,55 @@ class Target:
         self.max_local_elems = max_local_elems
         self.max_shared_elems = max_shared_elems
         self.unroll_limit = unroll_limit
+        #: SIMD lanes per vector op on native backends (8 × f32 = AVX2)
+        self.vector_width = vector_width
 
     def cache_key(self) -> tuple:
         """Full-content key for the build cache (repr omits tunables)."""
         return ("Target", self.kind, self.name, self.num_threads,
                 self.block_size, self.max_local_elems,
-                self.max_shared_elems, self.unroll_limit)
+                self.max_shared_elems, self.unroll_limit,
+                self.vector_width)
+
+    def capabilities(self, backend: str = "pycode") -> BackendCaps:
+        """The cost model's view of what ``backend`` does with schedule
+        annotations when compiling for this target:
+
+        - ``pycode`` runs sequentially in one Python process: ``openmp``
+          and ``cuda.*`` markings are ignored (capacity 1), but
+          ``vectorize`` lowers the whole loop to one NumPy kernel;
+        - ``c`` honours ``openmp`` up to ``num_threads`` and vectorizes
+          at ``vector_width`` lanes;
+        - ``gpusim`` spreads ``cuda.blockIdx`` without bound and
+          ``cuda.threadIdx`` over ``block_size`` lanes.
+        """
+        if backend == "c":
+            from ..pipeline import simd_body_ok
+
+            return BackendCaps(
+                backend,
+                {"openmp": self.num_threads},
+                vector_width=self.vector_width,
+                stride_matters=True,
+                vec_feasible=lambda s: simd_body_ok(s.body))
+        if backend == "gpusim":
+            return BackendCaps(
+                backend,
+                {"cuda.blockIdx": None,
+                 "cuda.threadIdx": self.block_size,
+                 "openmp": self.num_threads},
+                vector_width=32,
+                stride_matters=True)
+        if backend == "pycode":
+            from ..codegen.pycode import loop_vectorizes
+
+            return BackendCaps(backend, {}, vector_width=None,
+                               stride_matters=False,
+                               vec_feasible=loop_vectorizes)
+        # the reference interpreter (and unknown backends): sequential
+        # scalar evaluation; every annotation is a no-op
+        return BackendCaps(backend, {}, vector_width=1,
+                           stride_matters=False)
 
     def __repr__(self):  # pragma: no cover
         return f"Target({self.kind}:{self.name})"

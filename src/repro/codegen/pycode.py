@@ -281,16 +281,10 @@ class PyCodegen:
 
     # -- vectorisation ------------------------------------------------------
     def _try_vectorize(self, s: S.For, indent: int) -> bool:
-        body = s.body
-        stmts = body.stmts if isinstance(body, S.StmtSeq) else [body]
-        if not stmts or not all(
-                isinstance(c, (S.Store, S.ReduceTo)) for c in stmts):
+        if not loop_vectorizes(s):
             return False
-        if len(stmts) > 1 and not _independent_stmts(stmts):
-            return False
+        stmts = s.body.stmts if isinstance(s.body, S.StmtSeq) else [s.body]
         iv = s.iter_var
-        if not all(self._vec_feasible(c, iv) for c in stmts):
-            return False
         vec_name = f"_vi{self._vec_counter}"
         self._vec_counter += 1
         begin, end = self.pexpr(s.begin), self.pexpr(s.end)
@@ -413,6 +407,25 @@ def _independent_stmts(stmts) -> bool:
             if w1 & (r2 | w2) or w2 & r1:
                 return False
     return True
+
+
+def loop_vectorizes(s: S.For) -> bool:
+    """Whether the NumPy lowering turns loop ``s`` into whole-array
+    kernels — the exact feasibility test ``_try_vectorize`` applies: a
+    flat body of Store/ReduceTo statements over pairwise-disjoint
+    tensors, each expressible as one vector statement. A ``vectorize``
+    marking on any other loop shape falls back to a plain Python loop,
+    so the cost model (``repro.analysis.cost``) consults this predicate
+    through ``BackendCaps.vec_feasible`` before granting the
+    whole-kernel discount."""
+    body = s.body
+    stmts = body.stmts if isinstance(body, S.StmtSeq) else [body]
+    if not stmts or not all(
+            isinstance(c, (S.Store, S.ReduceTo)) for c in stmts):
+        return False
+    if len(stmts) > 1 and not _independent_stmts(stmts):
+        return False
+    return all(PyCodegen._vec_feasible(c, s.iter_var) for c in stmts)
 
 
 def compile_func(func: S.Func):

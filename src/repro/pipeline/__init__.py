@@ -38,6 +38,7 @@ STANDARD_LOWERING = ("flatten", "make_reduction", "simplify", "cleanup")
 
 
 def _pass_fns():
+    from ..analysis.cost import cost_model_pass
     from ..passes.cleanup import remove_dead_writes
     from ..passes.flatten import flatten_stmt_seq
     from ..passes.make_reduction import make_reduction
@@ -54,16 +55,21 @@ def _pass_fns():
         # final normalization after legalization rewrites, immediately
         # before the code generator
         "codegen_prep": flatten_stmt_seq,
+        # identity analysis pass: estimate the static cost of the tree
+        # at this point in the pipeline (repro.analysis.cost)
+        "cost_model": cost_model_pass,
     }
 
 
 def named_pass(name: str) -> Pass:
     """Construct a standard pass by name (``flatten``, ``make_reduction``,
-    ``simplify``, ``cleanup``, ``prune``, ``codegen_prep``, or any
-    registered legalization pass)."""
+    ``simplify``, ``cleanup``, ``prune``, ``codegen_prep``,
+    ``cost_model``, or any registered legalization pass)."""
     fns = _pass_fns()
     if name in fns:
-        return Pass(name, fns[name])
+        # cost_model is wanted for its side effect (the recorded
+        # estimate); a pass-cache hit would skip the analysis entirely
+        return Pass(name, fns[name], cacheable=(name != "cost_model"))
     if name in LEGALIZATION_PASSES:
         return Pass(name, LEGALIZATION_PASSES[name])
     raise ValueError(

@@ -13,6 +13,7 @@ collector.
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, Optional
 
 import numpy as np
@@ -20,6 +21,58 @@ import numpy as np
 from ..errors import InvalidProgram
 from ..ir import expr as E
 from ..ir import stmt as S
+
+
+class OpCounts:
+    """Dynamic operation counter — the cost model's ground-truth oracle.
+
+    Counts every event the static analysis (``repro.analysis.cost``)
+    claims to predict, using the *same* ``op_category`` classification,
+    so static-vs-dynamic comparisons are apples to apples: on an exact
+    estimate the two agree to the operation; on a sound one the static
+    side is an upper bound. Enable globally with ``REPRO_COUNT_OPS=1``
+    (checked per :class:`Interpreter`), or pass an instance explicitly
+    as ``Interpreter(op_counts=...)``.
+    """
+
+    FIELDS = ("flops", "int_ops", "loads", "stores", "reduces",
+              "lib_calls", "iters")
+
+    __slots__ = FIELDS + ("_category",)
+
+    def __init__(self):
+        from ..analysis.cost.model import op_category
+
+        self._category = op_category
+        self.reset()
+
+    def reset(self):
+        for f in self.FIELDS:
+            setattr(self, f, 0)
+
+    def note(self, e: E.Expr):
+        cat = self._category(e)
+        if cat is not None:
+            setattr(self, cat, getattr(self, cat) + 1)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f: getattr(self, f) for f in self.FIELDS}
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        body = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS
+                         if getattr(self, f))
+        return f"OpCounts({body})"
+
+
+_GLOBAL_OPS: Optional[OpCounts] = None
+
+
+def global_op_counts() -> OpCounts:
+    """The process-wide counter used when ``REPRO_COUNT_OPS=1``."""
+    global _GLOBAL_OPS
+    if _GLOBAL_OPS is None:
+        _GLOBAL_OPS = OpCounts()
+    return _GLOBAL_OPS
 
 _INTRIN_IMPL = {
     "abs": abs,
@@ -43,12 +96,17 @@ _INTRIN_IMPL = {
 class Interpreter:
     """Evaluates IR over an environment of NumPy buffers and scalars."""
 
-    def __init__(self, metrics=None):
+    def __init__(self, metrics=None, op_counts: Optional[OpCounts] = None):
         self.metrics = metrics
+        if op_counts is None and os.environ.get("REPRO_COUNT_OPS") == "1":
+            op_counts = global_op_counts()
+        self.ops = op_counts
 
     # -- expressions ------------------------------------------------------
     def eval_expr(self, e: E.Expr, env: Dict[str, object]):
         ev = self.eval_expr
+        if self.ops is not None:
+            self.ops.note(e)
         if isinstance(e, E.Const):
             return e.val
         if isinstance(e, E.Var):
@@ -160,6 +218,8 @@ class Interpreter:
         if isinstance(s, S.For):
             begin = int(self.eval_expr(s.begin, env))
             end = int(self.eval_expr(s.end, env))
+            if self.ops is not None:
+                self.ops.iters += max(0, end - begin)
             body = s.body
             for i in range(begin, end):
                 env[s.iter_var] = i
@@ -176,6 +236,8 @@ class Interpreter:
             buf = env[s.var]
             idx = tuple(int(self.eval_expr(i, env)) for i in s.indices)
             val = self.eval_expr(s.expr, env)
+            if self.ops is not None:
+                self.ops.stores += 1
             if self.metrics is not None:
                 self.metrics.on_write(s.var, buf, idx)
             buf[idx if idx else ()] = val
@@ -185,6 +247,8 @@ class Interpreter:
             idx = tuple(int(self.eval_expr(i, env)) for i in s.indices)
             val = self.eval_expr(s.expr, env)
             key = idx if idx else ()
+            if self.ops is not None:
+                self.ops.reduces += 1
             if self.metrics is not None:
                 self.metrics.on_read(s.var, buf, idx)
                 self.metrics.on_write(s.var, buf, idx)
@@ -217,6 +281,10 @@ class Interpreter:
     def _exec_libcall(self, s: S.LibCall, env):
         from .libcalls import run_libcall
 
+        if self.ops is not None:
+            # the kernel's interior is vendor code: count the invocation
+            # only, exactly like the static side
+            self.ops.lib_calls += 1
         run_libcall(s, env, metrics=self.metrics)
 
     # -- entry point ----------------------------------------------------------

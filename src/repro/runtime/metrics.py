@@ -172,6 +172,61 @@ def reset_verifier_stats():
         _VERIFIER_STATS[k] = 0
 
 
+# ---------------------------------------------------------------------------
+# Cost-model and tuner-screening counters (see repro.analysis.cost and
+# docs/PERFORMANCE.md "Cost model & tuner pruning")
+# ---------------------------------------------------------------------------
+
+_COST_STATS = {
+    "analyses": 0,     # estimate_cost calls
+    "memo_hits": 0,    # ... served from the in-process memo
+    "time_s": 0.0,
+}
+
+
+def record_cost_analysis(seconds: float, memo_hit: bool):
+    _COST_STATS["analyses"] += 1
+    if memo_hit:
+        _COST_STATS["memo_hits"] += 1
+    _COST_STATS["time_s"] += seconds
+
+
+def cost_stats() -> Dict[str, float]:
+    """Cumulative cost-model counters for this process."""
+    return dict(_COST_STATS)
+
+
+def reset_cost_stats():
+    for k in _COST_STATS:
+        _COST_STATS[k] = 0.0 if k.endswith("_s") else 0
+
+
+_TUNER_STATS = {
+    "candidates": 0,      # schedules drawn by a tuner
+    "dedup_skips": 0,     # structurally identical to an earlier candidate
+    "cost_pruned": 0,     # dominated by the incumbent's estimate
+    "measured": 0,        # actually compiled + run
+    "measure_failed": 0,  # compile/run raised (illegal candidate)
+}
+
+
+def record_tuner_candidate(outcome: str):
+    """Account one tuner round; ``outcome`` is one of ``dedup_skips`` /
+    ``cost_pruned`` / ``measured`` / ``measure_failed``."""
+    _TUNER_STATS["candidates"] += 1
+    _TUNER_STATS[outcome] += 1
+
+
+def tuner_stats() -> Dict[str, int]:
+    """Cumulative tuner screening counters for this process."""
+    return dict(_TUNER_STATS)
+
+
+def reset_tuner_stats():
+    for k in _TUNER_STATS:
+        _TUNER_STATS[k] = 0
+
+
 class MetricsCollector:
     """Counts events reported by the interpreter / simulated device."""
 

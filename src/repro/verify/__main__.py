@@ -47,6 +47,56 @@ def _file_targets(path: str) -> List[Tuple[str, object]]:
     return out
 
 
+def _cost_env(name: str, func) -> dict:
+    """Concrete shape values for a *workload* target, from its default
+    ``make_data()`` (file targets analyze symbolically)."""
+    from ..analysis.cost import infer_scalar_env
+    from ..workloads import ALL
+
+    mod = ALL.get(name)
+    if mod is None or not hasattr(mod, "make_data"):
+        return {}
+    data = mod.make_data()
+    # workload program params are named after the data dict's keys;
+    # ints in the dict (e.g. longformer's window) are scalar params
+    return infer_scalar_env(func, data, data)
+
+
+def _render_cost(est, findings) -> str:
+    c = est.counts
+    tag = "exact" if est.exact else ("sound" if est.sound
+                                     else "approximate")
+    lines = [
+        f"cost [{est.backend}/{est.target_name}] ({tag}):",
+        f"  ops: {c.flops} flops, {c.int_ops} int, {c.loads} loads, "
+        f"{c.stores} stores, {c.reduces} reduces, "
+        f"{c.lib_calls} lib calls, {c.iters} loop iters",
+        f"  time proxy {est.time_proxy:.1f}  "
+        f"parallelism {est.parallelism:.2f}x  "
+        f"stride penalty {est.stride_penalty:.0f}  "
+        f"footprint {est.footprint_bytes} B",
+    ]
+    rows = sorted(est.loops, key=lambda r: -r.total_ops)[:5]
+    if rows:
+        lines.append("  hottest loops:")
+        for r in rows:
+            mark = r.parallel or ("vectorize" if r.vectorize else "seq")
+            lines.append(
+                f"    {r.sid} for {r.iter_var}: trip {r.trip}"
+                f"{'' if r.exact else '~'} x{r.execs} [{mark}] "
+                f"{r.total_ops} ops")
+    if est.traffic:
+        lines.append("  traffic:")
+        for name in sorted(est.traffic):
+            t = est.traffic[name]
+            lines.append(
+                f"    {name}: {t.reads} reads / {t.writes} writes, "
+                f"~{t.bytes:.0f} B, innermost {t.stride_class}")
+    for d in findings:
+        lines.append(f"  {d.code}: {d.message}")
+    return "\n".join(lines)
+
+
 def _diag_json(d) -> dict:
     return {
         "code": d.code,
@@ -77,6 +127,13 @@ def main(argv=None) -> int:
                         help="machine-readable output")
     parser.add_argument("--no-source", action="store_true",
                         help="do not print source lines under findings")
+    parser.add_argument("--cost", action="store_true",
+                        help="also report the static cost model: op "
+                             "counts, loop trips, memory traffic, "
+                             "parallelism, and FT5xx perf findings")
+    parser.add_argument("--backend", default="pycode",
+                        help="backend whose capability table the cost "
+                             "model uses (with --cost)")
     args = parser.parse_args(argv)
 
     names: List[str] = []
@@ -128,17 +185,32 @@ def main(argv=None) -> int:
         report = verify(func, level=args.level)
         if report.has_errors:
             failed += 1
+        cost = perf = None
+        if args.cost:
+            from ..analysis.cost import analyze_cost, perf_lint
+
+            env = _cost_env(name, func)
+            cost = analyze_cost(func, backend=args.backend,
+                                scalar_env=env)
+            perf = perf_lint(func, backend=args.backend)
         if args.as_json:
-            json_out.append({
+            entry = {
                 "target": name,
                 "errors": len(report.errors),
                 "warnings": len(report.warnings),
                 "findings": [_diag_json(d) for d in report.diags],
-            })
+            }
+            if cost is not None:
+                entry["cost"] = cost.as_dict()
+                entry["cost"]["perf_findings"] = [_diag_json(d)
+                                                  for d in perf]
+            json_out.append(entry)
         else:
             print(f"== {name} ==")
             print(report.render(show_source=not args.no_source,
                                 base_dir=os.getcwd()))
+            if cost is not None:
+                print(_render_cost(cost, perf))
             print()
 
     from ..runtime.metrics import verifier_stats
