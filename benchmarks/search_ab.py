@@ -1,0 +1,295 @@
+"""A/B benchmark of the structured searcher vs. the PR 7 baselines.
+
+Two phases, results committed to
+``benchmarks/results/search_ab.json``:
+
+**Quality (per workload, serial)** — the structured knob-space searcher
+(``StructuredTuner``) and the ``EvolutionaryTuner`` baseline tune with
+the identical seed and candidate budget; both winners are re-measured
+head-to-head (min-of-``HEAD_TO_HEAD``). Gate: on every workload the
+structured winner is equal-or-better (``TOLERANCE`` head room for timer
+noise).
+
+**Parallel scaling (one workload, C backend)** — the same structured
+session runs with 1 and with 4 measurement workers in fake-measure mode
+(identical candidate streams, compile-dominated wall-clock), each phase
+against its own fresh ``REPRO_CACHE_DIR``. Gates:
+
+- same winner at both worker counts (fold determinism);
+- total gcc invocations do not scale with worker count (workers share
+  compiled artifacts through the disk store): ``gcc_4w <= gcc_1w *
+  GCC_SLACK + 2``;
+- >= ``MIN_SPEEDUP``x wall-clock speedup with 4 workers — **enforced
+  only when the host has >= 4 CPUs** (the CI runners; a 1-core dev box
+  physically cannot parallelize, so there the ratio is recorded but not
+  gated).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/search_ab.py
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+# the quality phase measures with caches off for an honest baseline;
+# scale children instead *need* the shared disk store their parent set up
+if "--scale-child" not in sys.argv:
+    os.environ["REPRO_NO_DISK_CACHE"] = "1"
+    os.environ["REPRO_NO_DAEMON"] = "1"
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import MODULES, TINY, ft_args  # noqa: E402
+
+from repro.autosched import EvolutionaryTuner, StructuredTuner  # noqa: E402
+from repro.ir.hashing import struct_hash  # noqa: E402
+from repro.runtime import metrics  # noqa: E402
+from repro.runtime.driver import build  # noqa: E402
+
+ROUNDS = 24
+REPEATS = 3
+SEED = 0
+#: head-to-head noise allowance for "equal-or-better"
+TOLERANCE = 1.10
+HEAD_TO_HEAD = 7
+
+#: parallel-scaling phase (C backend, fake measure, fresh cache dirs)
+SCALE_WORKLOAD = "gat"
+SCALE_ROUNDS = 24
+SCALE_BATCH = 8
+SCALE_TOPK = 8
+MIN_SPEEDUP = 2.0
+#: gcc must not scale with workers; small slack for racy double-compiles
+GCC_SLACK = 1.25
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+OUT_PATH = os.path.join(RESULTS_DIR, "search_ab.json")
+
+
+def head_to_head(func, args, kwargs):
+    exe = build(func, backend="pycode")
+    exe(*args, **kwargs)  # warm-up
+    best = float("inf")
+    for _ in range(HEAD_TO_HEAD):
+        t0 = time.perf_counter()
+        exe(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def quality_phase(failures):
+    out = {}
+    for name in sorted(MODULES):
+        mod = MODULES[name]
+        data = mod.make_data(**TINY[name])
+        args, kwargs = ft_args(name, data)
+
+        evo = EvolutionaryTuner(mod.make_program(),
+                                make_inputs=lambda: args,
+                                backend="pycode", rounds=ROUNDS,
+                                seed=SEED, repeats=REPEATS,
+                                scalars=kwargs)
+        t0 = time.perf_counter()
+        evo_res = evo.tune()
+        evo_wall = time.perf_counter() - t0
+
+        struct = StructuredTuner(mod.make_program(),
+                                 make_inputs=lambda: args,
+                                 backend="pycode", rounds=ROUNDS,
+                                 seed=SEED, repeats=REPEATS,
+                                 scalars=kwargs, workers=1)
+        t0 = time.perf_counter()
+        struct_res = struct.tune()
+        struct_wall = time.perf_counter() - t0
+
+        same = struct_hash(struct_res.best_func) == \
+            struct_hash(evo_res.best_func)
+        if same:
+            t_evo = t_struct = head_to_head(evo_res.best_func, args,
+                                            kwargs)
+        else:
+            t_evo = head_to_head(evo_res.best_func, args, kwargs)
+            t_struct = head_to_head(struct_res.best_func, args, kwargs)
+
+        out[name] = {
+            "rounds": ROUNDS,
+            "evo_measured": evo_res.measured,
+            "struct_measured": struct_res.measured,
+            "struct_frontier_skips": struct_res.frontier_skips,
+            "struct_invalid": struct_res.invalid,
+            "evo_wall_s": round(evo_wall, 4),
+            "struct_wall_s": round(struct_wall, 4),
+            "head_to_head_evo_s": t_evo,
+            "head_to_head_struct_s": t_struct,
+            "same_winner": same,
+            "struct_trace_steps": len(struct_res.best_trace or ()),
+        }
+        print(f"{name:12s} evo {t_evo * 1e3:.3f} ms "
+              f"({evo_res.measured} measured) vs structured "
+              f"{t_struct * 1e3:.3f} ms ({struct_res.measured} "
+              f"measured){' (same winner)' if same else ''}")
+        if t_struct > t_evo * TOLERANCE:
+            failures.append(
+                f"{name}: structured winner is slower "
+                f"({t_struct * 1e3:.3f} ms vs {t_evo * 1e3:.3f} ms)")
+    return out
+
+
+def scale_child(workers: int) -> int:
+    """Two identical fake-measure structured sessions (run in a *fresh
+    process* so no in-memory compile cache leaks between worker counts);
+    prints a JSON summary line.
+
+    The second session's worker pool forks with *empty* in-memory caches
+    (the first session's compiles happened inside other workers), so any
+    repeat compile it serves without gcc proves the cross-process disk
+    store is doing the sharing.
+    """
+    mod = MODULES[SCALE_WORKLOAD]
+    data = mod.make_data(**TINY[SCALE_WORKLOAD])
+    args, kwargs = ft_args(SCALE_WORKLOAD, data)
+
+    def session():
+        tuner = StructuredTuner(mod.make_program(),
+                                make_inputs=lambda: args, backend="c",
+                                rounds=SCALE_ROUNDS, batch=SCALE_BATCH,
+                                topk=SCALE_TOPK, seed=SEED,
+                                scalars=kwargs, workers=workers)
+        t0 = time.perf_counter()
+        res = tuner.tune()
+        wall = time.perf_counter() - t0
+        gcc = metrics.disk_cache_stats()["gcc_runs"] + \
+            metrics.pool_stats()["worker_gcc_runs"]
+        hits = metrics.disk_cache_stats()["native_hits"] + \
+            metrics.pool_stats()["worker_native_hits"]
+        return res, wall, gcc, hits
+
+    res1, wall1, gcc_after_1, hits_after_1 = session()
+    res2, wall2, gcc_after_2, hits_after_2 = session()
+    print(json.dumps({
+        "winner": struct_hash(res1.best_func),
+        "winner_repeat": struct_hash(res2.best_func),
+        "measured": res1.measured,
+        "wall_s": wall1,
+        "wall_repeat_s": wall2,
+        "gcc_runs": gcc_after_1,
+        "gcc_runs_repeat": gcc_after_2 - gcc_after_1,
+        "native_hits_repeat": hits_after_2 - hits_after_1,
+    }))
+    return 0
+
+
+def scale_once(workers: int) -> dict:
+    import subprocess
+
+    cache_dir = tempfile.mkdtemp(prefix=f"search-ab-{workers}w-")
+    env = dict(os.environ)
+    env.pop("REPRO_NO_DISK_CACHE", None)
+    env.update({
+        "REPRO_CACHE_DIR": cache_dir,
+        "REPRO_NO_DAEMON": "1",
+        "REPRO_TUNE_FAKE_MEASURE": "1",
+        "REPRO_NO_COST_PRUNE": "1",  # full identical candidate streams
+    })
+    try:
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--scale-child", str(workers)],
+            env=env, capture_output=True, text=True, timeout=1200)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"scale child ({workers}w) failed:\n{proc.stderr}")
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def scaling_phase(failures):
+    r1 = scale_once(1)
+    r4 = scale_once(4)
+    cpus = os.cpu_count() or 1
+    speedup = r1["wall_s"] / max(r4["wall_s"], 1e-9)
+    same = r1["winner"] == r4["winner"]
+
+    out = {
+        "workload": SCALE_WORKLOAD,
+        "rounds": SCALE_ROUNDS,
+        "measured_1w": r1["measured"],
+        "measured_4w": r4["measured"],
+        "wall_1w_s": round(r1["wall_s"], 4),
+        "wall_4w_s": round(r4["wall_s"], 4),
+        "speedup_4w": round(speedup, 3),
+        "gcc_runs_1w": r1["gcc_runs"],
+        "gcc_runs_4w": r4["gcc_runs"],
+        "gcc_runs_4w_repeat": r4["gcc_runs_repeat"],
+        "native_hits_4w_repeat": r4["native_hits_repeat"],
+        "same_winner": same,
+        "cpus": cpus,
+        "speedup_gated": cpus >= 4,
+    }
+    print(f"scaling [{SCALE_WORKLOAD}/c]: 1w {r1['wall_s']:.2f} s "
+          f"({r1['gcc_runs']} gcc) vs 4w {r4['wall_s']:.2f} s "
+          f"({r4['gcc_runs']} gcc) -> {speedup:.2f}x on {cpus} cpus; "
+          f"repeat 4w session: {r4['gcc_runs_repeat']} gcc, "
+          f"{r4['native_hits_repeat']} store hits")
+
+    if not same or r1["winner"] != r1["winner_repeat"] \
+            or r4["winner"] != r4["winner_repeat"]:
+        failures.append(
+            "scaling: winner differs between 1 and 4 workers "
+            "(fold determinism broken)")
+    if r1["measured"] != r4["measured"]:
+        failures.append(
+            f"scaling: measured counts differ ({r1['measured']} vs "
+            f"{r4['measured']}) — candidate streams diverged")
+    if r4["gcc_runs"] > r1["gcc_runs"] * GCC_SLACK + 2:
+        failures.append(
+            f"scaling: gcc runs scale with workers "
+            f"({r1['gcc_runs']} at 1w vs {r4['gcc_runs']} at 4w) — "
+            f"the shared store is not being used")
+    if r4["gcc_runs_repeat"] > 2 or r4["native_hits_repeat"] == 0:
+        failures.append(
+            f"scaling: repeat 4w session re-ran gcc "
+            f"{r4['gcc_runs_repeat']} times with "
+            f"{r4['native_hits_repeat']} store hits — fresh workers "
+            f"are not served by the shared disk store")
+    if cpus >= 4 and speedup < MIN_SPEEDUP:
+        failures.append(
+            f"scaling: only {speedup:.2f}x with 4 workers on {cpus} "
+            f"cpus (need >= {MIN_SPEEDUP}x)")
+    elif cpus < 4:
+        print(f"  (speedup gate skipped: {cpus} cpu(s) < 4; "
+              f"recorded only)")
+    return out
+
+
+def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "--scale-child":
+        return scale_child(int(sys.argv[2]))
+    failures = []
+    out = {
+        "quality": quality_phase(failures),
+        "scaling": scaling_phase(failures),
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(OUT_PATH, "w") as f:
+        json.dump(out, f, indent=2)
+    print(f"\nwrote {OUT_PATH}")
+    if failures:
+        print("\nFAIL:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

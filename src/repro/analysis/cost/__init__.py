@@ -20,12 +20,18 @@ from .model import (COUNT_FIELDS, CostEstimate, Counts, LoopCost,
 _LAZY = ("analyze_cost", "estimate_cost", "perf_lint", "cost_model_pass",
          "clear_cost_memo", "infer_scalar_env")
 
+_LAZY_FRONTIER = ("frontier_order", "pareto_front")
+
 
 def __getattr__(name):
     if name in _LAZY:
         from . import api
 
         return getattr(api, name)
+    if name in _LAZY_FRONTIER:
+        from . import frontier
+
+        return getattr(frontier, name)
     if name == "check_perf":
         from .lint import check_perf
 
@@ -37,4 +43,4 @@ def __getattr__(name):
 __all__ = [
     "COUNT_FIELDS", "CostEstimate", "Counts", "LoopCost", "TensorTraffic",
     "op_category", "check_perf",
-] + list(_LAZY)
+] + list(_LAZY) + list(_LAZY_FRONTIER)

@@ -1,0 +1,64 @@
+"""Frontier ordering over cost estimates.
+
+PR 7 used :class:`~repro.analysis.cost.model.CostEstimate` only as a
+*pruner* (dominance against the incumbent). The structured searcher
+(``repro.autosched.search``) also needs it as an *ordering*: each
+generation screens a batch of candidates and measures only the most
+promising few. This module provides that ordering as plain functions so
+other consumers (benchmarks, future serving-time admission) can share
+it.
+
+Both functions take a list of ``CostEstimate | None`` and return
+**indices** into it. ``None`` estimates (screening disabled, or the
+estimate failed) sort after every real estimate but are never dropped —
+ordering is advisory, candidates must not silently disappear here. Ties
+and ``None`` groups keep submission order, which is what makes the
+searcher's winner independent of measurement-worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .model import CostEstimate
+
+
+def frontier_order(estimates: Sequence[Optional[CostEstimate]]
+                   ) -> List[int]:
+    """Indices of ``estimates`` from most to least promising.
+
+    Primary key is ``time_proxy`` ascending; ``None`` estimates go last;
+    equal keys keep their input order (stable sort).
+    """
+    def key(i: int):
+        e = estimates[i]
+        return (0, e.time_proxy) if e is not None else (1, 0.0)
+
+    return sorted(range(len(estimates)), key=key)
+
+
+def pareto_front(estimates: Sequence[Optional[CostEstimate]]
+                 ) -> List[int]:
+    """Indices of the non-dominated estimates (the Pareto front under
+    :meth:`CostEstimate.dominates_or_equal`), in input order.
+
+    A ``None`` estimate is incomparable, so it is always on the front.
+    Duplicate estimates (mutual domination) all stay: the front answers
+    "which candidates could still win on some axis", not "pick one".
+    """
+    front: List[int] = []
+    for i, e in enumerate(estimates):
+        if e is None:
+            front.append(i)
+            continue
+        dominated = False
+        for j, other in enumerate(estimates):
+            if j == i or other is None:
+                continue
+            if other.dominates_or_equal(e) \
+                    and not e.dominates_or_equal(other):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front

@@ -5,10 +5,13 @@ from .autotune import EvolutionaryTuner, RandomTuner, TuneResult
 from .rules import (auto_fuse, auto_mem_type, auto_parallelize,
                     auto_schedule, auto_unroll, auto_use_lib,
                     auto_vectorize)
+from .search import (MeasurementPool, ScheduleSpace, ScheduleTrace,
+                     StructuredTuner)
 from .target import CPU, GPU, Target, default_target
 
 __all__ = [
-    "EvolutionaryTuner", "RandomTuner", "TuneResult",
+    "EvolutionaryTuner", "RandomTuner", "StructuredTuner", "TuneResult",
+    "MeasurementPool", "ScheduleSpace", "ScheduleTrace",
     "auto_fuse", "auto_mem_type", "auto_parallelize", "auto_schedule",
     "auto_unroll", "auto_use_lib", "auto_vectorize",
     "CPU", "GPU", "Target", "default_target",

@@ -10,35 +10,35 @@ inputs, and keeps the best. The per-round compile+measure cost and the
 round count are what the Table-2 reproduction reports.
 
 Candidates pass through a static screening front-end before the expensive
-compile+measure step (see docs/PERFORMANCE.md, "Cost model & tuner
-pruning"):
-
-1. *dedup* — structurally identical candidates (sid-less
-   ``struct_hash``) are measured once; repeats are skipped.
-2. *dominance pruning* — each candidate is cost-analyzed
-   (``repro.analysis.cost``) and skipped when the incumbent best's
-   estimate is at least as good on **every** axis (op counts, sequential
-   critical path, stride penalty, footprint). Pruning is deliberately
-   conservative: a candidate that is better on *any* axis is still
-   measured, so a sound estimate never hides a potential winner.
-
-Set ``REPRO_NO_COST_PRUNE=1`` to disable the whole front-end and restore
-the measure-everything behaviour (identical results, more rounds
-measured). Skip counts are reported on :class:`TuneResult` and in
+compile+measure step — since PR 8 the
+:class:`~repro.autosched.search.screen.CandidateScreen` shared with the
+structured searcher (see docs/PERFORMANCE.md, "Cost model & tuner
+pruning"): struct-hash dedup, then dominance pruning against the
+incumbent best's estimate. ``REPRO_NO_COST_PRUNE=1`` disables the whole
+front-end. Skip counts are reported on :class:`TuneResult` and in
 ``runtime.metrics.tuner_stats()``.
+
+Every tuner also records the **schedule trace** (primitive + args) that
+built each candidate, so the winner is reproducible and serializable
+without re-searching: ``TuneResult.best_trace`` replays onto a fresh
+``Schedule`` of the same program (see ``autosched.search.trace``).
+
+For the structured knob-space searcher with parallel multi-process
+measurement, see :class:`repro.autosched.search.StructuredTuner` — it
+shares this module's screening front-end and result type.
 """
 
 from __future__ import annotations
 
-import os
 import random
 import time
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import FreeTensorError, InvalidSchedule
-from ..ir import For, Func, IntConst, collect_stmts
-from ..ir.hashing import struct_hash
+from ..errors import FreeTensorError
+from ..ir import For, Func, IntConst
 from ..schedule import Schedule
+from .search.screen import CandidateScreen
+from .search.trace import ScheduleTrace, loop_ref
 from .target import default_target
 
 
@@ -48,7 +48,10 @@ class TuneResult:
     def __init__(self, best_func: Func, best_time: float,
                  round_times: List[float], measure_times: List[float],
                  dedup_skips: int = 0, cost_pruned: int = 0,
-                 pruned_funcs: Optional[List[Func]] = None):
+                 pruned_funcs: Optional[List[Func]] = None,
+                 best_trace: Optional[ScheduleTrace] = None,
+                 frontier_skips: int = 0, invalid: int = 0,
+                 timeouts: int = 0):
         self.best_func = best_func
         self.best_time = best_time
         #: wall-clock cost of each tuning round (compile + measure, or
@@ -63,6 +66,16 @@ class TuneResult:
         #: the pruned candidates themselves (only with ``keep_pruned``)
         self.pruned_funcs = pruned_funcs if pruned_funcs is not None \
             else []
+        #: replayable schedule trace of the winner (None when the winner
+        #: is the unscheduled base)
+        self.best_trace = best_trace
+        #: candidates that survived screening but ranked below the
+        #: structured searcher's measurement top-k
+        self.frontier_skips = frontier_skips
+        #: knob assignments that failed to realize into a schedule
+        self.invalid = invalid
+        #: measurements killed on the worker-pool deadline
+        self.timeouts = timeouts
 
     @property
     def rounds(self) -> int:
@@ -101,17 +114,21 @@ class RandomTuner:
         #: collect pruned candidates on the result (for differential
         #: testing of the pruner; costs memory, off by default)
         self.keep_pruned = keep_pruned
-        self._scalar_env: Optional[dict] = None
+        #: shared screening front-end + per-session cached inputs
+        self.screen = CandidateScreen(self.base, make_inputs, backend,
+                                      self.target, self.scalars)
 
     # -- candidate generation ----------------------------------------------
-    def _random_candidate(self) -> Func:
+    def _random_candidate(self) -> Tuple[Func, ScheduleTrace]:
         s = Schedule(self.base)
+        tr = ScheduleTrace()
         n_steps = self.rng.randint(1, 4)
         for _ in range(n_steps):
-            self._random_step(s)
-        return s.func
+            self._random_step(s, tr)
+        return s.func, tr
 
-    def _random_step(self, s: Schedule):
+    def _random_step(self, s: Schedule, trace: Optional[ScheduleTrace]
+                     = None):
         loops = s.loops()
         if not loops:
             return
@@ -119,107 +136,78 @@ class RandomTuner:
         move = self.rng.choice(["split", "vectorize", "parallelize",
                                 "reorder", "unroll"])
         try:
+            # symbolic refs are computed against the pre-step tree, then
+            # recorded only if the primitive succeeds
             if move == "split":
-                s.split(loop.sid,
-                        factor=self.rng.choice([2, 4, 8, 16, 32, 64]))
+                ref = loop_ref(s, loop.sid)
+                factor = self.rng.choice([2, 4, 8, 16, 32, 64])
+                s.split(loop.sid, factor=factor)
+                if trace is not None:
+                    trace.add("split", loop=ref, factor=factor)
             elif move == "vectorize":
+                ref = loop_ref(s, loop.sid)
                 s.vectorize(loop.sid)
+                if trace is not None:
+                    trace.add("vectorize", loop=ref)
             elif move == "parallelize":
+                ref = loop_ref(s, loop.sid)
                 s.parallelize(loop.sid, "openmp")
+                if trace is not None:
+                    trace.add("parallelize", loop=ref, kind="openmp")
             elif move == "unroll":
                 if isinstance(loop.begin, IntConst) and \
                         isinstance(loop.end, IntConst) and \
                         loop.end.val - loop.begin.val <= 8:
+                    ref = loop_ref(s, loop.sid)
                     s.unroll(loop.sid)
+                    if trace is not None:
+                        trace.add("unroll", loop=ref)
             elif move == "reorder":
                 from ..schedule.common import only_stmt_of
 
                 inner = only_stmt_of(loop)
                 if isinstance(inner, For):
+                    refs = [loop_ref(s, inner.sid), loop_ref(s, loop.sid)]
                     s.reorder([inner.sid, loop.sid])
+                    if trace is not None:
+                        trace.add("reorder", order=refs)
         except FreeTensorError:
             pass  # illegal move: skip (the tuner samples blindly)
 
-    # -- static screening --------------------------------------------------
+    # -- static screening (delegated to the shared front-end) ---------------
     def _reset_screen(self):
-        self._screen_on = os.environ.get("REPRO_NO_COST_PRUNE") != "1"
-        self._seen: set = set()
-        self._best_est = None
+        self.screen.reset()
 
     def _infer_env(self) -> dict:
-        # Shape variables (loop bounds) are not in ``self.scalars`` —
-        # recover them from one materialized input set, the same arrays
-        # every measurement binds, so symbolic candidates are compared
-        # under their real trip counts.
-        if self._scalar_env is None:
-            from ..analysis.cost import infer_scalar_env
-
-            try:
-                arrays = self.make_inputs()
-            except Exception:
-                arrays = ()
-            self._scalar_env = infer_scalar_env(self.base, arrays,
-                                                self.scalars)
-        return self._scalar_env
+        return self.screen.scalar_env()
 
     def _estimate(self, func: Func):
-        # Estimate the standard-lowered tree, not the raw candidate: the
-        # backend compiles post-make_reduction/simplify IR, and vectorize
-        # feasibility (BackendCaps.vec_feasible) depends on those forms.
-        # The per-pass cache shares this lowering with the subsequent
-        # build of any candidate that survives screening.
-        from ..analysis.cost import estimate_cost
-        from ..pipeline import lowering_pipeline
-
-        try:
-            func = lowering_pipeline().run(func)
-        except FreeTensorError:  # pragma: no cover - fails in _measure too
-            pass
-        return estimate_cost(func, backend=self.backend,
-                             target=self.target,
-                             scalar_env=self._infer_env())
+        return self.screen.estimate(func)
 
     def _screen(self, cand: Func) -> Tuple[str, object]:
-        """Decide a candidate's fate before compiling it.
-
-        Returns ``(verdict, estimate)`` with verdict one of ``"measure"``
-        (go compile+measure), ``"dedup_skips"`` or ``"cost_pruned"``.
-        """
-        from ..runtime import metrics
-
-        if not self._screen_on:
-            return "measure", None
-        h = struct_hash(cand)  # sid-less: same structure, same schedule
-        if h in self._seen:
-            metrics.record_tuner_candidate("dedup_skips")
-            return "dedup_skips", None
-        self._seen.add(h)
-        est = self._estimate(cand)
-        if self._best_est is not None \
-                and self._best_est.dominates_or_equal(est):
-            metrics.record_tuner_candidate("cost_pruned")
-            return "cost_pruned", est
-        return "measure", est
+        return self.screen.screen(cand)
 
     # -- measurement -------------------------------------------------------------
     def _measure(self, func: Func) -> float:
-        from ..runtime.driver import build
+        from .search.measure import measure_once
 
-        exe = build(func, backend=self.backend)
-        inputs = self.make_inputs()
-        exe(*inputs, **self.scalars)  # warm-up
-        best = float("inf")
-        for _ in range(self.repeats):
-            t0 = time.perf_counter()
-            exe(*inputs, **self.scalars)
-            best = min(best, time.perf_counter() - t0)
-        return best
+        return measure_once(func, self.backend, self.screen.inputs(),
+                            self.scalars, self.repeats)
+
+    def _publish(self, result: TuneResult) -> TuneResult:
+        from ..runtime import metrics
+
+        metrics.record_best_trace(
+            result.best_trace.as_json()
+            if result.best_trace is not None else None)
+        return result
 
     def tune(self) -> TuneResult:
         from ..runtime import metrics
 
         best_func = self.base
         best_time = float("inf")
+        best_trace: Optional[ScheduleTrace] = None
         round_times: List[float] = []
         measure_times: List[float] = []
         pruned_funcs: List[Func] = []
@@ -227,7 +215,7 @@ class RandomTuner:
         self._reset_screen()
         for _r in range(self.rounds):
             t0 = time.perf_counter()
-            cand = self._random_candidate()
+            cand, trace = self._random_candidate()
             verdict, est = self._screen(cand)
             if verdict != "measure":
                 if verdict == "dedup_skips":
@@ -247,14 +235,13 @@ class RandomTuner:
             metrics.record_tuner_candidate("measured")
             measure_times.append(t)
             if t < best_time:
-                best_time, best_func = t, cand
-                if est is not None:
-                    self._best_est = est
+                best_time, best_func, best_trace = t, cand, trace
+                self.screen.accept(est)
             round_times.append(time.perf_counter() - t0)
-        return TuneResult(best_func, best_time, round_times,
-                          measure_times, dedup_skips=dedup_skips,
-                          cost_pruned=cost_pruned,
-                          pruned_funcs=pruned_funcs)
+        return self._publish(TuneResult(
+            best_func, best_time, round_times, measure_times,
+            dedup_skips=dedup_skips, cost_pruned=cost_pruned,
+            pruned_funcs=pruned_funcs, best_trace=best_trace))
 
 
 class EvolutionaryTuner(RandomTuner):
@@ -279,7 +266,8 @@ class EvolutionaryTuner(RandomTuner):
     def tune(self) -> TuneResult:
         from ..runtime import metrics
 
-        pool: List[Tuple[float, Func]] = []  # (time, func), best first
+        # (time, func, trace), best first
+        pool: List[Tuple[float, Func, ScheduleTrace]] = []
         round_times: List[float] = []
         measure_times: List[float] = []
         pruned_funcs: List[Func] = []
@@ -289,11 +277,16 @@ class EvolutionaryTuner(RandomTuner):
         for _r in range(self.rounds):
             t0 = time.perf_counter()
             if not pool or self.rng.random() < self.explore_prob:
-                cand = self._random_candidate()
+                cand, trace = self._random_candidate()
             else:
-                _pt, parent = pool[self.rng.randrange(len(pool))]
+                _pt, parent, ptrace = pool[self.rng.randrange(len(pool))]
                 s = Schedule(parent)
-                self._random_step(s)
+                trace = ptrace.fork()
+                # the constructor re-normalized the parent; record that,
+                # or the replayed tree diverges from what the new step's
+                # loop indices were computed against
+                trace.add("normalize")
+                self._random_step(s, trace)
                 cand = s.func
             verdict, est = self._screen(cand)
             if verdict != "measure":
@@ -313,19 +306,19 @@ class EvolutionaryTuner(RandomTuner):
                 continue
             metrics.record_tuner_candidate("measured")
             measure_times.append(t)
-            pool.append((t, cand))
+            pool.append((t, cand, trace))
             pool.sort(key=lambda p: p[0])
             del pool[self.population:]
             if t < best_time:
                 best_time = t
-                if est is not None:
-                    self._best_est = est
+                self.screen.accept(est)
             round_times.append(time.perf_counter() - t0)
         if pool:
-            best_time, best_func = pool[0]
+            best_time, best_func, best_trace = pool[0]
         else:  # pragma: no cover - nothing measured
-            best_time, best_func = float("inf"), self.base
-        return TuneResult(best_func, best_time, round_times,
-                          measure_times, dedup_skips=dedup_skips,
-                          cost_pruned=cost_pruned,
-                          pruned_funcs=pruned_funcs)
+            best_time, best_func, best_trace = float("inf"), self.base, \
+                None
+        return self._publish(TuneResult(
+            best_func, best_time, round_times, measure_times,
+            dedup_skips=dedup_skips, cost_pruned=cost_pruned,
+            pruned_funcs=pruned_funcs, best_trace=best_trace))

@@ -1,0 +1,37 @@
+"""``repro.autosched.search`` — structured schedule search with parallel
+multi-process measurement (see docs/PERFORMANCE.md, "Structured search &
+parallel measurement").
+
+- :mod:`.space` — typed knobs (tile chains, legal reorder permutations,
+  legality-gated annotations) extracted once per program;
+- :mod:`.trace` — replayable, serializable schedule traces;
+- :mod:`.screen` — the dedup + dominance-pruning front-end shared with
+  the random/evolutionary tuners, plus per-session input caching;
+- :mod:`.measure` — the fault-isolated worker-process measurement pool;
+- :mod:`.tuner` — :class:`StructuredTuner` tying them together.
+
+Submodules load lazily: ``autosched.autotune`` imports ``screen`` /
+``trace`` from here, so an eager ``tuner`` import would be circular.
+"""
+
+_LAZY = {
+    "StructuredTuner": ".tuner",
+    "ScheduleSpace": ".space",
+    "Knob": ".space",
+    "ScheduleTrace": ".trace",
+    "CandidateScreen": ".screen",
+    "MeasurementPool": ".measure",
+}
+
+
+def __getattr__(name):
+    mod = _LAZY.get(name)
+    if mod is not None:
+        import importlib
+
+        return getattr(importlib.import_module(mod, __name__), name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = list(_LAZY)

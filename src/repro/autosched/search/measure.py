@@ -1,0 +1,311 @@
+"""Parallel candidate measurement: a fault-isolated worker-process pool.
+
+The pre-search tuners compile and measure every surviving candidate
+serially, in-process — a miscompiled candidate that segfaults or loops
+forever kills the whole tuning session, and wall-clock is the sum of
+every measurement. This module runs measurements in ``k`` worker
+processes instead:
+
+- **isolation** — each candidate is compiled + run inside a worker; a
+  crash (worker process dies) or a hang (deadline exceeded, worker
+  killed) is folded back as a *failed/timeout outcome for that one
+  candidate* and a replacement worker is forked, so the session always
+  survives;
+- **shared artifacts** — workers inherit ``REPRO_CACHE_DIR`` and serve
+  repeat compiles from the PR 4 on-disk store, so ``gcc_runs`` does not
+  scale with worker count (each distinct candidate is compiled by
+  whichever worker gets there first; the rest hit the shared ``.so``
+  store). Workers report their per-task ``gcc_runs`` / ``native_hits``
+  deltas back to the parent, folded into
+  ``runtime.metrics.pool_stats()``;
+- **determinism** — results return in *submission order* regardless of
+  completion order, so the searcher's fold (and therefore the winner) is
+  identical at any worker count given identical measured values.
+
+Environment knobs (see docs/PERFORMANCE.md):
+
+- ``REPRO_TUNE_WORKERS`` — default pool size when the tuner does not
+  pass one (``1`` = serial in-process measurement, the honest baseline);
+- ``REPRO_TUNE_TIMEOUT`` — per-candidate deadline in seconds (default
+  60) after which a worker is killed and the candidate counted as a
+  timeout;
+- ``REPRO_TUNE_MP`` — multiprocessing start method (default ``fork``);
+- ``REPRO_TUNE_FAKE_MEASURE=1`` — compile-only mode: the pool returns
+  the deterministic pseudo-time the searcher attached to each task
+  (derived from the cost model's ``time_proxy``) instead of wall-clock.
+  Used by the determinism tests and the gcc-sharing CI gate, where real
+  timings would be noise;
+- ``REPRO_TUNE_FAULT=crash:<hash-prefix|*>`` / ``hang:<prefix|*>`` —
+  fault injection for the isolation tests: a worker about to measure a
+  candidate whose sid-less ``struct_hash`` matches the prefix crashes
+  (``os._exit``) or hangs instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as _queue
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ...errors import FreeTensorError
+from ...ir import Func
+from ...ir.hashing import struct_hash
+
+DEFAULT_TIMEOUT_S = 60.0
+
+#: outcome kinds a measurement can fold back as
+OK, FAILED, TIMEOUT = "ok", "failed", "timeout"
+
+
+def pool_size(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit argument, else
+    ``REPRO_TUNE_WORKERS``, else 1 (serial)."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_TUNE_WORKERS", "1"))
+    return max(1, int(workers))
+
+
+def fake_measure_enabled() -> bool:
+    return os.environ.get("REPRO_TUNE_FAKE_MEASURE") == "1"
+
+
+def _injected_fault(func: Func) -> Optional[str]:
+    spec = os.environ.get("REPRO_TUNE_FAULT", "")
+    if not spec or ":" not in spec:
+        return None
+    kind, _, pattern = spec.partition(":")
+    if kind not in ("crash", "hang"):
+        return None
+    h = struct_hash(func)
+    if pattern == "*" or h.startswith(pattern):
+        return kind
+    return None
+
+
+def measure_once(func: Func, backend: str, inputs: Sequence,
+                 scalars: dict, repeats: int,
+                 fake_time: Optional[float] = None) -> float:
+    """Compile + measure one candidate in the current process.
+
+    With ``fake_time`` set (fake-measure mode) the candidate is still
+    fully compiled — exercising the shared compile caches — but not run;
+    the deterministic pseudo-time is returned instead.
+    """
+    from ...runtime.driver import build
+
+    exe = build(func, backend=backend)
+    if fake_time is not None:
+        return float(fake_time)
+    exe(*inputs, **scalars)  # warm-up
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        exe(*inputs, **scalars)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _worker_main(wid: int, backend: str, inputs: tuple, scalars: dict,
+                 repeats: int, tasks, results):
+    """Worker loop: take ``(tid, func, fake_time)`` tasks from this
+    worker's own queue until the ``None`` sentinel. The parent does the
+    dispatching, so it always knows which task a dead/hung worker held —
+    no handshake message that a crash could swallow."""
+    from ...runtime import metrics
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        tid, func, fake_time = task
+        fault = _injected_fault(func)
+        if fault == "crash":
+            os._exit(17)
+        elif fault == "hang":  # pragma: no cover - killed by the parent
+            time.sleep(3600)
+        before = metrics.disk_cache_stats()
+        try:
+            t = measure_once(func, backend, inputs, scalars, repeats,
+                             fake_time)
+            ok, payload = True, t
+        except Exception as e:  # noqa: BLE001 - isolation is the point
+            ok, payload = False, f"{type(e).__name__}: {e}"
+        after = metrics.disk_cache_stats()
+        results.put(("done", wid, tid, ok, payload,
+                     int(after["gcc_runs"] - before["gcc_runs"]),
+                     int(after["native_hits"] - before["native_hits"])))
+
+
+class MeasurementPool:
+    """``k`` persistent worker processes measuring candidates.
+
+    With ``workers <= 1`` the pool degenerates to serial in-process
+    measurement (no subprocesses at all) — the honest 1-worker baseline
+    the speedup gate compares against.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 backend: str = "pycode", inputs: Sequence = (),
+                 scalars: Optional[dict] = None, repeats: int = 1,
+                 timeout_s: Optional[float] = None):
+        from ...runtime import metrics
+
+        self.workers = pool_size(workers)
+        self.backend = backend
+        self.inputs = tuple(inputs)
+        self.scalars = dict(scalars or {})
+        self.repeats = repeats
+        self.timeout_s = timeout_s if timeout_s is not None else float(
+            os.environ.get("REPRO_TUNE_TIMEOUT", DEFAULT_TIMEOUT_S))
+        self.parallel = self.workers >= 2
+        self._procs: dict = {}   # wid -> Process
+        self._queues: dict = {}  # wid -> this worker's own task queue
+        self._next_wid = 0
+        if self.parallel:
+            method = os.environ.get("REPRO_TUNE_MP", "fork")
+            if method not in mp.get_all_start_methods():  # pragma: no cover
+                method = mp.get_start_method(allow_none=False)
+            self._ctx = mp.get_context(method)
+            self._results = self._ctx.Queue()
+            for _ in range(self.workers):
+                self._spawn()
+        metrics.record_pool_session(self.workers)
+
+    def _spawn(self) -> int:
+        wid = self._next_wid
+        self._next_wid += 1
+        q = self._ctx.Queue()
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self.backend, self.inputs, self.scalars,
+                  self.repeats, q, self._results),
+            daemon=True)
+        p.start()
+        self._procs[wid] = p
+        self._queues[wid] = q
+        return wid
+
+    # -- measurement -------------------------------------------------------
+    def measure_batch(self, entries: Sequence[Tuple[Func, Optional[float]]]
+                      ) -> List[Tuple[str, object]]:
+        """Measure ``(func, fake_time)`` entries; returns one
+        ``(outcome, payload)`` per entry **in submission order** —
+        ``("ok", seconds)``, ``("failed", message)`` or
+        ``("timeout", None)``."""
+        from ...runtime import metrics
+
+        t0 = time.perf_counter()
+        if not self.parallel:
+            out = [self._measure_serial(func, fake) for func, fake in
+                   entries]
+        else:
+            out = self._measure_parallel(entries)
+        metrics.record_pool_time(time.perf_counter() - t0)
+        return out
+
+    def _measure_serial(self, func: Func, fake: Optional[float]
+                        ) -> Tuple[str, object]:
+        from ...runtime import metrics
+
+        try:
+            t = measure_once(func, self.backend, self.inputs,
+                             self.scalars, self.repeats, fake)
+        except FreeTensorError as e:
+            metrics.record_pool_task(FAILED)
+            return FAILED, f"{type(e).__name__}: {e}"
+        metrics.record_pool_task(OK)
+        return OK, t
+
+    def _measure_parallel(self, entries) -> List[Tuple[str, object]]:
+        from ...runtime import metrics
+
+        outcomes: List[Optional[Tuple[str, object]]] = [None] * len(
+            entries)
+        pending: List[int] = list(range(len(entries)))  # tids to dispatch
+        assigned: dict = {}  # wid -> (tid, started_at)
+        remaining = len(entries)
+
+        def resolve(tid: int, outcome: Tuple[str, object]):
+            nonlocal remaining
+            if outcomes[tid] is None:
+                outcomes[tid] = outcome
+                remaining -= 1
+
+        def reap(wid: int, outcome: str, message):
+            """A worker died (crash) or was killed (hang): attribute its
+            task, fork a replacement."""
+            p = self._procs.pop(wid)
+            self._queues.pop(wid)
+            if p.is_alive():
+                p.terminate()
+            p.join(timeout=5)
+            tid, _started = assigned.pop(wid)
+            metrics.record_pool_task(outcome)
+            resolve(tid, (outcome, message))
+            metrics.record_pool_respawn()
+            self._spawn()
+
+        while remaining:
+            # keep every idle worker fed (one outstanding task each, so
+            # a death always maps to exactly one candidate)
+            for wid in list(self._procs):
+                if pending and wid not in assigned:
+                    tid = pending.pop(0)
+                    func, fake = entries[tid]
+                    assigned[wid] = (tid, time.monotonic())
+                    self._queues[wid].put((tid, func, fake))
+
+            try:
+                msg = self._results.get(timeout=0.05)
+            except _queue.Empty:
+                msg = None
+            if msg is not None:
+                _, wid, tid, ok, payload, gcc, native = msg
+                assigned.pop(wid, None)
+                metrics.record_pool_task(OK if ok else FAILED)
+                metrics.record_pool_worker_compiles(gcc, native)
+                resolve(tid, (OK, payload) if ok else (FAILED, payload))
+                continue
+
+            now = time.monotonic()
+            for wid, p in list(self._procs.items()):
+                at = assigned.get(wid)
+                if at is not None and now - at[1] > self.timeout_s:
+                    # hung candidate: kill the worker, count a timeout
+                    reap(wid, TIMEOUT, None)
+                elif not p.is_alive():
+                    if wid in assigned:
+                        # crashed candidate
+                        reap(wid, FAILED, "worker crashed")
+                    else:  # pragma: no cover - spontaneous idle death
+                        self._procs.pop(wid)
+                        self._queues.pop(wid)
+                        metrics.record_pool_respawn()
+                        self._spawn()
+        return [o for o in outcomes if o is not None]
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self):
+        if not self.parallel:
+            return
+        for q in self._queues.values():
+            try:
+                q.put_nowait(None)
+            except Exception:  # pragma: no cover - full/closed queue
+                pass
+        deadline = time.monotonic() + 5
+        for p in self._procs.values():
+            p.join(timeout=max(0.1, deadline - time.monotonic()))
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+                p.join(timeout=1)
+        self._procs.clear()
+        self._queues.clear()
+
+    def __enter__(self) -> "MeasurementPool":
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

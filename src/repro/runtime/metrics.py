@@ -202,29 +202,141 @@ def reset_cost_stats():
 
 
 _TUNER_STATS = {
-    "candidates": 0,      # schedules drawn by a tuner
-    "dedup_skips": 0,     # structurally identical to an earlier candidate
-    "cost_pruned": 0,     # dominated by the incumbent's estimate
-    "measured": 0,        # actually compiled + run
-    "measure_failed": 0,  # compile/run raised (illegal candidate)
+    "candidates": 0,       # schedules drawn by a tuner
+    "dedup_skips": 0,      # structurally identical to an earlier candidate
+    "cost_pruned": 0,      # dominated by the incumbent's estimate
+    "frontier_skips": 0,   # survived screening but ranked below top-k
+    "invalid": 0,          # knob assignment failed to realize (illegal)
+    "measured": 0,         # actually compiled + run
+    "measure_failed": 0,   # compile/run raised (illegal candidate)
+    "measure_timeout": 0,  # worker hung/crashed and was killed
 }
+
+#: replayable trace of the last finished tuning session's winner
+#: (``ScheduleTrace.as_json()`` payload, or None)
+_BEST_TRACE = None
 
 
 def record_tuner_candidate(outcome: str):
     """Account one tuner round; ``outcome`` is one of ``dedup_skips`` /
-    ``cost_pruned`` / ``measured`` / ``measure_failed``."""
+    ``cost_pruned`` / ``frontier_skips`` / ``invalid`` / ``measured`` /
+    ``measure_failed`` / ``measure_timeout``."""
     _TUNER_STATS["candidates"] += 1
     _TUNER_STATS[outcome] += 1
 
 
-def tuner_stats() -> Dict[str, int]:
-    """Cumulative tuner screening counters for this process."""
-    return dict(_TUNER_STATS)
+def record_best_trace(trace_json):
+    """Publish the winner's schedule trace (JSON-able list of steps) so
+    ``tuner_stats()`` can report how the best schedule was built."""
+    global _BEST_TRACE
+    _BEST_TRACE = trace_json
+
+
+def tuner_stats() -> Dict[str, object]:
+    """Cumulative tuner screening counters for this process, plus the
+    last finished session's winning schedule trace (``best_trace``)."""
+    out: Dict[str, object] = dict(_TUNER_STATS)
+    out["best_trace"] = _BEST_TRACE
+    return out
 
 
 def reset_tuner_stats():
+    global _BEST_TRACE
     for k in _TUNER_STATS:
         _TUNER_STATS[k] = 0
+    _BEST_TRACE = None
+
+
+# ---------------------------------------------------------------------------
+# Structured search-space and measurement-pool counters (see
+# repro.autosched.search and docs/PERFORMANCE.md "Structured search &
+# parallel measurement")
+# ---------------------------------------------------------------------------
+
+_SEARCH_STATS = {
+    "spaces": 0,        # ScheduleSpace.extract calls
+    "knobs": 0,         # total knobs across extracted spaces
+    "order_knobs": 0,
+    "tile_knobs": 0,
+    "ann_knobs": 0,
+    "generations": 0,   # evolutionary generations advanced
+    "assignments": 0,   # knob assignments drawn (before screening)
+}
+
+
+def record_search_space(knobs: int, order_knobs: int, tile_knobs: int,
+                        ann_knobs: int):
+    _SEARCH_STATS["spaces"] += 1
+    _SEARCH_STATS["knobs"] += int(knobs)
+    _SEARCH_STATS["order_knobs"] += int(order_knobs)
+    _SEARCH_STATS["tile_knobs"] += int(tile_knobs)
+    _SEARCH_STATS["ann_knobs"] += int(ann_knobs)
+
+
+def record_search_generation(assignments: int):
+    _SEARCH_STATS["generations"] += 1
+    _SEARCH_STATS["assignments"] += int(assignments)
+
+
+def search_stats() -> Dict[str, int]:
+    """Cumulative structured-search counters for this process."""
+    return dict(_SEARCH_STATS)
+
+
+def reset_search_stats():
+    for k in _SEARCH_STATS:
+        _SEARCH_STATS[k] = 0
+
+
+_POOL_STATS = {
+    "sessions": 0,         # measurement pools started
+    "max_workers": 0,      # largest pool size seen
+    "tasks": 0,            # measurement tasks dispatched to workers
+    "task_failures": 0,    # candidate compile/run raised in a worker
+    "task_timeouts": 0,    # worker killed after exceeding the deadline
+    "worker_respawns": 0,  # replacement workers forked after a death
+    "worker_gcc_runs": 0,      # gcc invocations inside workers (summed)
+    "worker_native_hits": 0,   # .so served to workers by the disk store
+    "measure_time_s": 0.0,     # wall-clock spent inside pool.measure()
+}
+
+
+def record_pool_session(workers: int):
+    _POOL_STATS["sessions"] += 1
+    _POOL_STATS["max_workers"] = max(_POOL_STATS["max_workers"],
+                                     int(workers))
+
+
+def record_pool_task(outcome: str):
+    """``outcome``: ``ok`` / ``failed`` / ``timeout``."""
+    _POOL_STATS["tasks"] += 1
+    if outcome == "failed":
+        _POOL_STATS["task_failures"] += 1
+    elif outcome == "timeout":
+        _POOL_STATS["task_timeouts"] += 1
+
+
+def record_pool_respawn():
+    _POOL_STATS["worker_respawns"] += 1
+
+
+def record_pool_worker_compiles(gcc_runs: int, native_hits: int):
+    _POOL_STATS["worker_gcc_runs"] += int(gcc_runs)
+    _POOL_STATS["worker_native_hits"] += int(native_hits)
+
+
+def record_pool_time(seconds: float):
+    _POOL_STATS["measure_time_s"] += seconds
+
+
+def pool_stats() -> Dict[str, float]:
+    """Cumulative parallel-measurement-pool counters for this process."""
+    return dict(_POOL_STATS)
+
+
+def reset_pool_stats():
+    for k in _POOL_STATS:
+        _POOL_STATS[k] = 0.0 if k.endswith("_s") else 0
 
 
 class MetricsCollector:

@@ -68,6 +68,18 @@ class Schedule:
         """All loops, in pre-order."""
         return self.find_all(lambda s: isinstance(s, For))
 
+    def normalize(self):
+        """Re-run the standard lowering pipeline on the current tree
+        (what the constructor does to its input). A transformation can
+        leave simplifiable structure behind — e.g. a trip-1 outer loop
+        after a full split — and starting a *new* session on the result
+        folds it away; recording ``normalize`` as an explicit step keeps
+        schedule traces replayable across such session boundaries."""
+        from ..pipeline import lowering_pipeline
+
+        self.func = lowering_pipeline(name="schedule").run(self.func)
+        self._log.append("normalize()")
+
     def verify(self, level: str = "warning"):
         """Run the whole-program verifier (``repro.verify``) on the
         current state of the schedule and return its

@@ -1,0 +1,385 @@
+"""Tests for the structured schedule searcher and its measurement pool
+(``repro.autosched.search``): knob-space extraction, trace replay,
+determinism across worker counts, crash/hang isolation, and the
+satellite guarantees (inputs cached once per session, winner traces
+recorded everywhere)."""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+import repro as ft
+from repro.analysis.cost import frontier_order, pareto_front
+from repro.autosched import (EvolutionaryTuner, RandomTuner,
+                             StructuredTuner)
+from repro.autosched.search.space import ScheduleSpace
+from repro.autosched.search.trace import ScheduleTrace
+from repro.ir.hashing import struct_hash
+from repro.runtime import metrics
+from repro.schedule import Schedule
+
+
+def _mm_program(n=8, m=6, k=5):
+    @ft.transform
+    def mm(a: ft.Tensor[(n, k), "f32", "input"],
+           b: ft.Tensor[(k, m), "f32", "input"],
+           c: ft.Tensor[(n, m), "f32", "output"]):
+        for i in range(n):
+            for j in range(m):
+                c[i, j] = 0.
+                for p in range(k):
+                    c[i, j] += a[i, p] * b[p, j]
+
+    return mm
+
+
+def _mm_inputs(n=8, m=6, k=5):
+    rng = np.random.default_rng(0)
+    return (rng.standard_normal((n, k), dtype=np.float32),
+            rng.standard_normal((k, m), dtype=np.float32))
+
+
+def _gat():
+    from repro.workloads import gat
+
+    data = gat.make_data(n_nodes=24, avg_degree=3, feats=4, out_feats=4)
+    args = (data["indptr"], data["indices"], data["h"], data["wmat"],
+            data["att_s"], data["att_d"])
+    return gat.make_program(), args
+
+
+# ---------------------------------------------------------------------------
+# the knob space
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleSpace:
+
+    def test_extract_typed_knobs(self):
+        base = Schedule(_mm_program()).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        kinds = {k.kind for k in space.knobs}
+        assert kinds == {"order", "tile", "ann"}
+        # every knob's first choice is the identity
+        a0 = space.default_assignment()
+        func, trace = space.realize(a0)
+        assert struct_hash(func) == struct_hash(base)
+        assert len(trace) == 0
+
+    def test_order_knob_only_legal_perms(self):
+        # c[i,j] += ... has a reduction loop p: permutations among
+        # (i, j, p) are all legal here, but every offered choice must
+        # replay without raising
+        base = Schedule(_mm_program()).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        for knob in space.knobs:
+            if knob.kind != "order":
+                continue
+            for perm in knob.choices:
+                a = space.default_assignment()
+                a[knob.name] = perm
+                space.realize(a)  # must not raise
+
+    def test_tile_factors_respect_trip(self):
+        base = Schedule(_mm_program(n=8)).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        for knob in space.knobs:
+            if knob.kind != "tile":
+                continue
+            for chain in knob.choices:
+                for f in chain:
+                    assert f < 64  # no factor above any trip here
+
+    def test_random_realize_and_replay(self):
+        base = Schedule(_mm_program()).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        rng = random.Random(3)
+        for _ in range(10):
+            a = space.random_assignment(rng)
+            func, trace = space.realize(a)
+            replayed = trace.apply(Schedule(base)).func
+            assert struct_hash(func) == struct_hash(replayed)
+
+    def test_mutate_and_crossover_stay_in_space(self):
+        base = Schedule(_mm_program()).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        rng = random.Random(0)
+        a = space.random_assignment(rng)
+        b = space.random_assignment(rng)
+        m = space.mutate(a, rng)
+        x = space.crossover(a, b, rng)
+        names = {k.name for k in space.knobs}
+        assert set(m) == names and set(x) == names
+        assert sum(1 for n in names if m[n] != a[n]) == 1
+        for n in names:
+            assert x[n] == a[n] or x[n] == b[n]
+
+    def test_metrics_counters(self):
+        metrics.reset_search_stats()
+        base = Schedule(_mm_program()).func
+        ScheduleSpace.extract(base, backend="pycode")
+        st = metrics.search_stats()
+        assert st["spaces"] == 1
+        assert st["knobs"] == st["order_knobs"] + st["tile_knobs"] \
+            + st["ann_knobs"]
+        assert st["knobs"] > 0
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleTrace:
+
+    def test_json_round_trip(self):
+        base = Schedule(_mm_program()).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        rng = random.Random(7)
+        a = space.random_assignment(rng)
+        func, trace = space.realize(a)
+        back = ScheduleTrace.from_json(trace.dumps())
+        assert back.as_json() == trace.as_json()
+        replayed = back.apply(Schedule(base)).func
+        assert struct_hash(func) == struct_hash(replayed)
+
+    def test_res_refs_resolve_split_results(self):
+        base = Schedule(_mm_program()).func
+        s = Schedule(base)
+        tr = ScheduleTrace()
+        step = tr.add("split", loop={"$loop": 0}, factor=2)
+        tr.add("vectorize", loop={"$res": [step, 1]})
+        outer, inner = s.split(s.loops()[0].sid, factor=2)
+        s.vectorize(inner)
+        replayed = tr.apply(Schedule(base)).func
+        assert struct_hash(replayed) == struct_hash(s.func)
+
+    def test_random_tuner_winner_trace_replays(self):
+        prog = _mm_program()
+        tuner = RandomTuner(prog, make_inputs=_mm_inputs,
+                            backend="pycode", rounds=8, seed=1)
+        res = tuner.tune()
+        assert res.best_trace is not None
+        replayed = res.best_trace.apply(Schedule(tuner.base)).func
+        assert struct_hash(replayed) == struct_hash(res.best_func)
+        # ... and tuner_stats carries the winner's trace as JSON
+        assert metrics.tuner_stats()["best_trace"] == \
+            res.best_trace.as_json()
+
+    def test_evolutionary_tuner_winner_trace_replays(self):
+        prog = _mm_program()
+        tuner = EvolutionaryTuner(prog, make_inputs=_mm_inputs,
+                                  backend="pycode", rounds=10, seed=2)
+        res = tuner.tune()
+        assert res.best_trace is not None
+        replayed = res.best_trace.apply(Schedule(tuner.base)).func
+        assert struct_hash(replayed) == struct_hash(res.best_func)
+
+
+# ---------------------------------------------------------------------------
+# frontier ordering
+# ---------------------------------------------------------------------------
+
+
+class TestFrontier:
+
+    def test_frontier_order_sorts_by_proxy(self):
+        base = Schedule(_mm_program()).func
+        space = ScheduleSpace.extract(base, backend="pycode")
+        from repro.analysis.cost import estimate_cost
+        from repro.pipeline import lowering_pipeline
+
+        rng = random.Random(5)
+        ests = []
+        for _ in range(5):
+            f, _tr = space.realize(space.random_assignment(rng))
+            ests.append(estimate_cost(lowering_pipeline().run(f),
+                                      backend="pycode"))
+        order = frontier_order(ests)
+        proxies = [ests[i].time_proxy for i in order]
+        assert proxies == sorted(proxies)
+
+    def test_frontier_order_nones_last_stable(self):
+        class E:
+            def __init__(self, p):
+                self.time_proxy = p
+
+        ests = [None, E(3.0), None, E(1.0), E(3.0)]
+        assert frontier_order(ests) == [3, 1, 4, 0, 2]
+
+    def test_pareto_front_keeps_incomparable(self):
+        base = Schedule(_mm_program()).func
+        from repro.analysis.cost import estimate_cost
+        from repro.pipeline import lowering_pipeline
+
+        est = estimate_cost(lowering_pipeline().run(base),
+                            backend="pycode")
+        # a duplicate never knocks its twin off the front
+        assert pareto_front([est, est]) == [0, 1]
+        assert pareto_front([None, est]) == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# the structured tuner: determinism across worker counts
+# ---------------------------------------------------------------------------
+
+
+def _structured(prog, inputs, workers, rounds=16, seed=0, **kw):
+    return StructuredTuner(prog, make_inputs=lambda: inputs,
+                           backend="pycode", rounds=rounds, seed=seed,
+                           workers=workers, **kw)
+
+
+class TestDeterminism:
+
+    @pytest.mark.parametrize("no_prune", [False, True])
+    def test_same_winner_at_1_2_4_workers(self, monkeypatch, no_prune):
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        if no_prune:
+            monkeypatch.setenv("REPRO_NO_COST_PRUNE", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_COST_PRUNE", raising=False)
+        prog, args = _gat()
+        results = []
+        for workers in (1, 2, 4):
+            res = _structured(prog, args, workers).tune()
+            results.append((struct_hash(res.best_func), res.best_time,
+                            res.measured))
+        assert results[0] == results[1] == results[2]
+
+    def test_identity_assignment_measured_first_gen(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        prog, args = _gat()
+        res = _structured(prog, args, workers=1, rounds=8).tune()
+        # the base schedule is always a candidate, so the tuner can
+        # never return something worse than doing nothing
+        assert res.best_time < float("inf")
+        assert res.best_trace is not None
+
+    def test_result_counters_add_up(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        prog, args = _gat()
+        res = _structured(prog, args, workers=1, rounds=16).tune()
+        accounted = (res.measured + res.dedup_skips + res.cost_pruned
+                     + res.frontier_skips + res.invalid + res.timeouts)
+        assert accounted == res.rounds == 16
+
+
+# ---------------------------------------------------------------------------
+# the measurement pool: isolation
+# ---------------------------------------------------------------------------
+
+
+class TestIsolation:
+
+    def test_crashing_candidate_is_counted_not_fatal(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        monkeypatch.setenv("REPRO_TUNE_FAULT", "crash:*")
+        monkeypatch.setenv("REPRO_TUNE_TIMEOUT", "20")
+        metrics.reset_pool_stats()
+        prog, args = _gat()
+        res = _structured(prog, args, workers=2, rounds=8).tune()
+        # every measurement crashed a worker; the session survived
+        assert res.measured == 0
+        assert res.best_time == float("inf")
+        st = metrics.pool_stats()
+        assert st["task_failures"] >= 1
+        assert st["worker_respawns"] >= 1
+        assert st["tasks"] == st["task_failures"]
+
+    def test_hanging_candidate_times_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        monkeypatch.setenv("REPRO_TUNE_FAULT", "hang:*")
+        monkeypatch.setenv("REPRO_TUNE_TIMEOUT", "2")
+        metrics.reset_pool_stats()
+        prog, args = _gat()
+        res = _structured(prog, args, workers=2, rounds=4,
+                          batch=4, topk=2).tune()
+        assert res.measured == 0
+        assert res.timeouts >= 1
+        st = metrics.pool_stats()
+        assert st["task_timeouts"] >= 1
+        assert st["worker_respawns"] >= 1
+        assert metrics.tuner_stats()["measure_timeout"] >= 1
+
+    def test_selective_fault_spares_other_candidates(self, monkeypatch):
+        # crash only one specific candidate: the others still measure
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        monkeypatch.setenv("REPRO_TUNE_TIMEOUT", "20")
+        prog, args = _gat()
+        clean = _structured(prog, args, workers=2, rounds=8).tune()
+        assert clean.measured >= 2
+        victim = struct_hash(clean.best_func)
+        monkeypatch.setenv("REPRO_TUNE_FAULT", f"crash:{victim[:12]}")
+        res = _structured(prog, args, workers=2, rounds=8).tune()
+        assert res.measured >= 1
+        assert struct_hash(res.best_func) != victim
+
+
+# ---------------------------------------------------------------------------
+# satellites: input caching
+# ---------------------------------------------------------------------------
+
+
+class TestInputCaching:
+
+    def test_make_inputs_called_once_per_session(self):
+        calls = []
+
+        def make_inputs():
+            calls.append(1)
+            return _mm_inputs()
+
+        tuner = RandomTuner(_mm_program(), make_inputs=make_inputs,
+                            backend="pycode", rounds=10, seed=0)
+        res = tuner.tune()
+        assert res.measured >= 2  # several real measurements happened
+        assert len(calls) == 1
+
+    def test_structured_tuner_caches_inputs_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_FAKE_MEASURE", "1")
+        calls = []
+        prog, args = _gat()
+
+        def make_inputs():
+            calls.append(1)
+            return args
+
+        StructuredTuner(prog, make_inputs=make_inputs,
+                        backend="pycode", rounds=8, seed=0,
+                        workers=1).tune()
+        assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: tuned winners still compute the right thing
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+
+    def test_structured_winner_is_correct(self):
+        prog = _mm_program()
+        a, b = _mm_inputs()
+        res = StructuredTuner(prog, make_inputs=lambda: (a, b),
+                              backend="pycode", rounds=12, seed=0,
+                              workers=1).tune()
+        from repro.runtime.driver import build
+
+        exe = build(res.best_func, backend="pycode")
+        np.testing.assert_allclose(exe(a, b), a @ b, rtol=1e-4)
+
+    def test_cli_entry_point(self, capsys):
+        from repro.tune import main
+
+        rc = main(["gat", "--rounds", "6", "--repeats", "1",
+                   "--json"])
+        assert rc == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"] == "gat"
+        assert report["measured"] >= 1
+        assert report["trace"] is not None
