@@ -49,7 +49,6 @@ import queue as _queue
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from ...errors import FreeTensorError
 from ...ir import Func
 from ...ir.hashing import struct_hash
 
@@ -212,7 +211,7 @@ class MeasurementPool:
         try:
             t = measure_once(func, self.backend, self.inputs,
                              self.scalars, self.repeats, fake)
-        except FreeTensorError as e:
+        except Exception as e:  # noqa: BLE001 - match worker isolation
             metrics.record_pool_task(FAILED)
             return FAILED, f"{type(e).__name__}: {e}"
         metrics.record_pool_task(OK)
@@ -263,7 +262,12 @@ class MeasurementPool:
                 msg = None
             if msg is not None:
                 _, wid, tid, ok, payload, gcc, native = msg
-                assigned.pop(wid, None)
+                if assigned.pop(wid, None) is None:
+                    # stale result from a worker already reaped on
+                    # timeout (its put raced the kill): the task was
+                    # resolved and counted by reap() — don't let it
+                    # into the pool metrics a second time
+                    continue
                 metrics.record_pool_task(OK if ok else FAILED)
                 metrics.record_pool_worker_compiles(gcc, native)
                 resolve(tid, (OK, payload) if ok else (FAILED, payload))

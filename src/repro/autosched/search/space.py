@@ -259,12 +259,13 @@ class ScheduleSpace:
 
         # then every split chain, in base pre-order (splits preserve the
         # sids of the loops nested inside), deferring annotations
-        pending = []  # (ann choice, outer_sid, inner_sid, split_step)
+        pending = []  # (ann, outer_sid, inner_sid, first_step, last_step)
         for k in self.knobs:
             if k.kind == "tile":
                 chain = assignment.get(k.name, [])
                 inner_sid = k.sid
                 outer_sid = k.sid
+                first_step = None
                 last_step = None
                 for level, f in enumerate(chain):
                     step = tr.add("split", loop=loop_ref(s, inner_sid),
@@ -272,16 +273,18 @@ class ScheduleSpace:
                     outer, inner = s.split(inner_sid, factor=int(f))
                     if level == 0:
                         outer_sid = outer
+                        first_step = step
                     inner_sid = inner
                     last_step = step
                 ann_name = k.name.replace(".tile", ".ann")
                 pending.append((assignment.get(ann_name, "none"),
-                                outer_sid, inner_sid, last_step))
+                                outer_sid, inner_sid, first_step,
+                                last_step))
             elif k.kind == "ann" \
                     and k.name.replace(".ann", ".tile") \
                     not in self._by_name:
                 pending.append((assignment.get(k.name, "none"),
-                                k.sid, k.sid, None))
+                                k.sid, k.sid, None, None))
 
         # annotations innermost-first: an immediate ``unroll`` duplicates
         # its body with fresh sids, so an ancestor must only unroll after
@@ -291,30 +294,33 @@ class ScheduleSpace:
         # their ancestors in pre-order.
         pos = {l.sid: i for i, l in enumerate(s.loops())}
         pending.sort(key=lambda p: -pos[p[2]])
-        for ann, outer_sid, inner_sid, step in pending:
-            self._apply_ann(s, tr, ann, outer_sid, inner_sid, step)
+        for ann, outer_sid, inner_sid, first_step, last_step in pending:
+            self._apply_ann(s, tr, ann, outer_sid, inner_sid,
+                            first_step, last_step)
         return s.func, tr
 
     def _apply_ann(self, s: Schedule, tr: ScheduleTrace, ann: str,
                    outer_sid: str, inner_sid: str,
-                   split_step: Optional[int]):
+                   first_step: Optional[int],
+                   last_step: Optional[int]):
         """Attach one annotation choice: ``parallel`` binds the outer
-        split result (distribute tiles), ``vectorize``/``unroll`` the
-        inner one (contiguous short loop)."""
+        result of the *first* split in the chain (distribute tiles),
+        ``vectorize``/``unroll`` the inner result of the *last* split
+        (contiguous short loop)."""
         if ann == "none" or not ann:
             return
         if ann == "parallel":
-            ref = (res_ref(split_step, 0) if split_step is not None
+            ref = (res_ref(first_step, 0) if first_step is not None
                    else loop_ref(s, outer_sid))
             tr.add("parallelize", loop=ref, kind=self.parallel_kind)
             s.parallelize(outer_sid, self.parallel_kind)
         elif ann == "vectorize":
-            ref = (res_ref(split_step, 1) if split_step is not None
+            ref = (res_ref(last_step, 1) if last_step is not None
                    else loop_ref(s, inner_sid))
             tr.add("vectorize", loop=ref)
             s.vectorize(inner_sid)
         elif ann == "unroll":
-            ref = (res_ref(split_step, 1) if split_step is not None
+            ref = (res_ref(last_step, 1) if last_step is not None
                    else loop_ref(s, inner_sid))
             tr.add("unroll", loop=ref)
             s.unroll(inner_sid)

@@ -92,6 +92,41 @@ class TestScheduleSpace:
                 for f in chain:
                     assert f < 64  # no factor above any trip here
 
+    def test_every_chain_ann_pair_replays_faithfully(self):
+        # every (tile chain, annotation) combination must replay to
+        # the exact func realize() returned — regression test: a
+        # two-level chain + parallel used to record the last split's
+        # outer (the middle loop) in the trace while parallelizing the
+        # first split's outer, so replaying the winner trace produced
+        # a different schedule. The "c" backend is the one offering
+        # the parallel annotation (openmp capacity > 1).
+        base = Schedule(_mm_program(n=64, m=64, k=64)).func
+        space = ScheduleSpace.extract(base, backend="c")
+        assert space.parallel_kind == "openmp"
+        covered = set()
+        for tk in space.knobs:
+            if tk.kind != "tile":
+                continue
+            ann_name = tk.name.replace(".tile", ".ann")
+            ann_knob = next((k for k in space.knobs
+                             if k.name == ann_name), None)
+            anns = ann_knob.choices if ann_knob else ["none"]
+            for chain in tk.choices:
+                for ann in anns:
+                    a = space.default_assignment()
+                    a[tk.name] = chain
+                    if ann_knob is not None:
+                        a[ann_name] = ann
+                    func, trace = space.realize(a)
+                    replayed = trace.apply(Schedule(base)).func
+                    assert struct_hash(func) == struct_hash(replayed), \
+                        (tk.name, chain, ann)
+                    covered.add((len(chain), ann))
+        # the space must actually have exercised the risky pairings
+        assert (2, "parallel") in covered
+        assert (2, "vectorize") in covered
+        assert (0, "parallel") in covered
+
     def test_random_realize_and_replay(self):
         base = Schedule(_mm_program()).func
         space = ScheduleSpace.extract(base, backend="pycode")
@@ -303,6 +338,23 @@ class TestIsolation:
         assert st["task_timeouts"] >= 1
         assert st["worker_respawns"] >= 1
         assert metrics.tuner_stats()["measure_timeout"] >= 1
+
+    def test_serial_pool_isolates_any_exception(self, monkeypatch):
+        # at workers=1 an arbitrary exception from compile/run (not
+        # just FreeTensorError) must fold back as a failed outcome,
+        # matching the worker path's catch-everything isolation — not
+        # crash the tuning session
+        from repro.autosched.search import measure as m
+
+        def boom(*args, **kwargs):
+            raise TypeError("bad candidate")
+
+        monkeypatch.setattr(m, "measure_once", boom)
+        base = Schedule(_mm_program()).func
+        with m.MeasurementPool(workers=1, backend="pycode",
+                               inputs=()) as pool:
+            out = pool.measure_batch([(base, None)])
+        assert out == [("failed", "TypeError: bad candidate")]
 
     def test_selective_fault_spares_other_candidates(self, monkeypatch):
         # crash only one specific candidate: the others still measure
