@@ -1,0 +1,113 @@
+"""Cross-backend wall-clock benchmark + the npblock performance gate.
+
+Times each paper workload on the registered CPU backends (raw,
+unscheduled IR — the "just build it" path a new backend must win on),
+verifies outputs against the NumPy reference, writes
+``benchmarks/results/backend_bench.json`` and fails — exit code 1 — if
+the blocked-NumPy ``npblock`` backend does not beat ``pycode`` by at
+least ``GATE_SPEEDUP``x on at least ``GATE_WINS`` workloads. That gate
+is the registry's retargetability proof in CI: a backend added purely
+through ``repro.backend.register_backend`` delivering a real speedup.
+
+Sizes are larger than the correctness suites': NumPy's per-kernel
+dispatch cost needs real trip counts to amortize, which is exactly the
+regime the blocked lowering targets (short-trip loops fall back to
+scalar code at runtime; see ``repro.backend.npblock``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/backend_bench.py
+"""
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import MODULES, ft_args  # noqa: E402
+
+from repro.runtime import build  # noqa: E402
+
+#: the backends this benchmark compares (interp is orders of magnitude
+#: slower and gpusim needs GPU-scheduled IR; both are out of scope here)
+BACKENDS = ("pycode", "npblock", "c")
+
+#: npblock must beat pycode by GATE_SPEEDUP x on >= GATE_WINS workloads
+GATE_SPEEDUP = 1.5
+GATE_WINS = 2
+
+REPEATS = 5
+
+#: trip counts large enough to amortize NumPy kernel dispatch
+BENCH_SIZES = {
+    "subdivnet": dict(n_faces=256, in_feats=16, out_feats=16),
+    "longformer": dict(seq_len=256, feat_len=32, w=16),
+    "softras": dict(n_faces=32, image_size=32),
+    "gat": dict(n_nodes=256, avg_degree=8, feats=16, out_feats=16),
+}
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+OUT_PATH = os.path.join(RESULTS_DIR, "backend_bench.json")
+
+
+def bench(name: str):
+    mod = MODULES[name]
+    data = mod.make_data(**BENCH_SIZES[name])
+    ref = mod.reference(data)
+    args, kwargs = ft_args(name, data)
+    func = mod.make_program().func
+    row = {}
+    for backend in BACKENDS:
+        exe = build(func, backend=backend)
+        out = exe(*args, **kwargs)  # warm-up + correctness
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-4)
+        best = float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            exe(*args, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        row[backend] = round(best * 1e3, 3)  # ms
+    row["npblock_speedup_vs_pycode"] = round(
+        row["pycode"] / row["npblock"], 2)
+    return row
+
+
+def main() -> int:
+    results = {}
+    for name in sorted(MODULES):
+        results[name] = bench(name)
+        r = results[name]
+        print(f"{name:12s} " +
+              "  ".join(f"{b} {r[b]:9.3f} ms" for b in BACKENDS) +
+              f"  npblock {r['npblock_speedup_vs_pycode']:.2f}x vs pycode")
+
+    wins = [n for n in results
+            if results[n]["npblock_speedup_vs_pycode"] >= GATE_SPEEDUP]
+    results["_gate"] = {
+        "rule": f"npblock >= {GATE_SPEEDUP}x pycode on "
+                f">= {GATE_WINS} workloads",
+        "winning_workloads": sorted(wins),
+        "passed": len(wins) >= GATE_WINS,
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(OUT_PATH, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+    print(f"wrote {OUT_PATH}")
+
+    if len(wins) < GATE_WINS:
+        print(f"FAIL: npblock beat pycode >= {GATE_SPEEDUP}x on only "
+              f"{sorted(wins)} (need {GATE_WINS} workloads)")
+        return 1
+    print(f"gate passed: npblock >= {GATE_SPEEDUP}x pycode on "
+          f"{sorted(wins)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

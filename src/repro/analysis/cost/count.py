@@ -148,8 +148,10 @@ class _Walker:
             return float(ceil(trip / max(1, cap))) if trip else 0.0
         if prop.vectorize and vec_ok:
             w = self.caps.vector_width
-            if w is None:  # whole-loop kernel (NumPy vector backend)
-                w = VEC_WHOLE_WIDTH
+            if w is None:  # whole-loop kernel (NumPy vector backends);
+                # the per-element discount is the model default unless
+                # the backend's declared caps override it
+                w = self.caps.vec_whole_width or VEC_WHOLE_WIDTH
             return float(ceil(trip / max(1, w))) if trip else 0.0
         return float(trip)
 
@@ -229,7 +231,10 @@ class _Walker:
             seq = self.seq_trip(s, trip, vec_ok)
             head_seq = seq
             if vec_ok and self.caps.vector_width is None and trip:
-                head_seq = seq + VEC_KERNEL_SEQ
+                # kernel dispatch overhead: model default, unless the
+                # backend's declared caps override it
+                head_seq = seq + (self.caps.vec_kernel_seq
+                                  or VEC_KERNEL_SEQ)
             inner_ctx = ctx.with_loop(s.iter_var, s.begin, s.end)
             prev_trip = self.var_trips.get(s.iter_var)
             self.var_trips[s.iter_var] = trip

@@ -31,12 +31,13 @@ from .diagnostics import Diagnostic, ir_path
 
 def _scope_violation(kind: str, mtype: MemType) -> str:
     """Why this (parallel kind, memory type) pair cannot carry a
-    dependence at all, or '' if the scope is fine."""
-    if mtype is MemType.GPU_LOCAL and kind.startswith("cuda."):
-        return "gpu/local memory is private to each thread"
-    if mtype is MemType.GPU_SHARED and kind.startswith("cuda.blockIdx"):
-        return "gpu/shared memory is private to each thread block"
-    return ""
+    dependence at all, or '' if the scope is fine — per the
+    :class:`~repro.backend.ScopeRule` declarations of the registered
+    backends (the GPU rules come from the ``gpusim``/``cuda``
+    Backend objects)."""
+    from ...backend import scope_violation
+
+    return scope_violation(kind, mtype)
 
 
 def _classify(dep: Dependence, loop: S.For, defs) -> Diagnostic:

@@ -58,12 +58,17 @@ def auto_schedule(program_or_func, target: Optional[Target] = None,
     instrumented = (os.environ.get("REPRO_VERIFY_EACH_PASS", "") == "1"
                     or bool(os.environ.get("REPRO_DUMP_IR", "")))
     raw = getattr(program_or_func, "func", program_or_func)
-    memo_key = "|".join((struct_hash(raw, include_sids=True),
-                         backend or "pycode",
+    # the backend discriminator is the registry cache tag
+    # (name@caps_version): bumping a Backend's declared version
+    # invalidates memoized schedules that ran its legalization
+    from ..backend import backend_cache_tag
+
+    btag = backend_cache_tag(backend or "pycode")
+    memo_key = "|".join((struct_hash(raw, include_sids=True), btag,
                          repr(target.cache_key()), ",".join(enabled)))
     # process-independent discriminator for the persistent store (the
     # canonical input hash is prepended by the cache layer itself)
-    disk_extra = "|".join((backend or "pycode", repr(target.cache_key()),
+    disk_extra = "|".join((btag, repr(target.cache_key()),
                            ",".join(enabled)))
     if not instrumented:
         t0 = time.perf_counter()

@@ -83,6 +83,19 @@ def _injected_fault(func: Func) -> Optional[str]:
     return None
 
 
+def format_failure(backend: str, exc: BaseException) -> str:
+    """One consistent rendering of a candidate compile/run failure,
+    delegated to the registered :class:`~repro.backend.Backend` so the
+    serial path, the pool workers and the driver all agree on the
+    backend name (fault-injection logs vs ``pool_stats()``)."""
+    from ...backend import find_backend
+
+    b = find_backend(backend)
+    if b is not None:
+        return b.format_failure(exc)
+    return f"{backend}: {type(exc).__name__}: {exc}"
+
+
 def measure_once(func: Func, backend: str, inputs: Sequence,
                  scalars: dict, repeats: int,
                  fake_time: Optional[float] = None) -> float:
@@ -111,7 +124,12 @@ def _worker_main(wid: int, backend: str, inputs: tuple, scalars: dict,
     """Worker loop: take ``(tid, func, fake_time)`` tasks from this
     worker's own queue until the ``None`` sentinel. The parent does the
     dispatching, so it always knows which task a dead/hung worker held —
-    no handshake message that a crash could swallow."""
+    no handshake message that a crash could swallow.
+
+    The worker receives only the backend *name*; the Backend object is
+    resolved from the registry inside the fork (``build()`` and
+    ``format_failure`` both query it), so whatever the parent registered
+    under that name is what the worker runs."""
     from ...runtime import metrics
 
     while True:
@@ -130,7 +148,7 @@ def _worker_main(wid: int, backend: str, inputs: tuple, scalars: dict,
                              fake_time)
             ok, payload = True, t
         except Exception as e:  # noqa: BLE001 - isolation is the point
-            ok, payload = False, f"{type(e).__name__}: {e}"
+            ok, payload = False, format_failure(backend, e)
         after = metrics.disk_cache_stats()
         results.put(("done", wid, tid, ok, payload,
                      int(after["gcc_runs"] - before["gcc_runs"]),
@@ -149,10 +167,14 @@ class MeasurementPool:
                  backend: str = "pycode", inputs: Sequence = (),
                  scalars: Optional[dict] = None, repeats: int = 1,
                  timeout_s: Optional[float] = None):
+        from ...backend import find_backend
         from ...runtime import metrics
 
         self.workers = pool_size(workers)
-        self.backend = backend
+        b = find_backend(backend)
+        #: the registry object's name (not the caller's spelling), so
+        #: pool metrics and worker failure payloads agree
+        self.backend = b.name if b is not None else backend
         self.inputs = tuple(inputs)
         self.scalars = dict(scalars or {})
         self.repeats = repeats
@@ -170,7 +192,7 @@ class MeasurementPool:
             self._results = self._ctx.Queue()
             for _ in range(self.workers):
                 self._spawn()
-        metrics.record_pool_session(self.workers)
+        metrics.record_pool_session(self.workers, backend=self.backend)
 
     def _spawn(self) -> int:
         wid = self._next_wid
@@ -213,7 +235,7 @@ class MeasurementPool:
                              self.scalars, self.repeats, fake)
         except Exception as e:  # noqa: BLE001 - match worker isolation
             metrics.record_pool_task(FAILED)
-            return FAILED, f"{type(e).__name__}: {e}"
+            return FAILED, format_failure(self.backend, e)
         metrics.record_pool_task(OK)
         return OK, t
 

@@ -124,12 +124,10 @@ class ScheduleSpace:
 
         target = target or default_target(backend)
         caps = target.capabilities(backend)
-        if backend == "gpusim":
-            parallel_kind: Optional[str] = "cuda.blockIdx.x"
-        elif caps.capacity("openmp") > 1:
-            parallel_kind = "openmp"
-        else:
-            parallel_kind = None  # annotation would be a no-op: no knob
+        # the annotation kind a `parallel` knob binds to, straight from
+        # the backend's declared capability table (None when the backend
+        # would ignore the annotation: no knob)
+        parallel_kind = caps.schedule_parallel_kind()
 
         analyzer = DepAnalyzer(base)
         knobs: List[Knob] = []

@@ -1,52 +1,16 @@
-"""Target descriptions for the auto-scheduler."""
+"""Target descriptions for the auto-scheduler.
+
+:class:`BackendCaps` itself lives in ``repro.backend.caps`` now (it is
+declared per-backend by the registry's Backend objects) and is
+re-exported here for compatibility; ``Target.capabilities`` delegates to
+the registry query instead of the old per-backend if/elif ladder.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from ..backend.caps import BackendCaps
 
-
-class BackendCaps:
-    """What a (backend, target) pair actually does with parallel/vector
-    annotations — the capability table behind the cost model's
-    exploited-parallelism axis (see docs/PERFORMANCE.md).
-
-    ``capacity(kind)`` is the hardware lane count a ``For`` bound to
-    parallel kind ``kind`` is spread over: 1 means the annotation is a
-    no-op on this backend, None means effectively unbounded (every
-    iteration gets a lane). ``vector_width`` is the SIMD width applied to
-    ``vectorize`` loops; None means the whole loop becomes one vector
-    kernel (the NumPy lowering). ``vec_feasible`` is the backend's own
-    legality predicate for honouring a ``vectorize`` marking on a given
-    ``For`` (None = always honoured): the code generators silently fall
-    back to plain loops on shapes they cannot vectorize, and the cost
-    model must model that fallback, not the annotation. ``stride_matters``
-    is False on backends whose per-element cost is interpretation
-    overhead rather than memory latency.
-    """
-
-    __slots__ = ("backend", "vector_width", "stride_matters", "_parallel",
-                 "vec_feasible")
-
-    def __init__(self, backend: str, parallel: dict,
-                 vector_width: Optional[int], stride_matters: bool,
-                 vec_feasible: Optional[Callable] = None):
-        self.backend = backend
-        self._parallel = dict(parallel)
-        self.vector_width = vector_width
-        self.stride_matters = stride_matters
-        self.vec_feasible = vec_feasible
-
-    def capacity(self, kind: str) -> Optional[int]:
-        """Lane count for parallel kind ``kind`` (e.g. ``openmp``,
-        ``cuda.blockIdx.x``); 1 when the backend ignores it."""
-        for prefix, cap in self._parallel.items():
-            if kind == prefix or kind.startswith(prefix + "."):
-                return cap
-        return 1
-
-    def __repr__(self):  # pragma: no cover
-        return (f"BackendCaps({self.backend}, vec={self.vector_width}, "
-                f"parallel={self._parallel})")
+__all__ = ["BackendCaps", "CPU", "GPU", "Target", "default_target"]
 
 
 class Target:
@@ -77,43 +41,14 @@ class Target:
 
     def capabilities(self, backend: str = "pycode") -> BackendCaps:
         """The cost model's view of what ``backend`` does with schedule
-        annotations when compiling for this target:
+        annotations when compiling for this target — the capability
+        table the backend's registered :class:`~repro.backend.Backend`
+        declares (``repro.backend.backend_caps``); unknown backend names
+        get the sequential-scalar fallback where every annotation is a
+        no-op."""
+        from ..backend import backend_caps
 
-        - ``pycode`` runs sequentially in one Python process: ``openmp``
-          and ``cuda.*`` markings are ignored (capacity 1), but
-          ``vectorize`` lowers the whole loop to one NumPy kernel;
-        - ``c`` honours ``openmp`` up to ``num_threads`` and vectorizes
-          at ``vector_width`` lanes;
-        - ``gpusim`` spreads ``cuda.blockIdx`` without bound and
-          ``cuda.threadIdx`` over ``block_size`` lanes.
-        """
-        if backend == "c":
-            from ..pipeline import simd_body_ok
-
-            return BackendCaps(
-                backend,
-                {"openmp": self.num_threads},
-                vector_width=self.vector_width,
-                stride_matters=True,
-                vec_feasible=lambda s: simd_body_ok(s.body))
-        if backend == "gpusim":
-            return BackendCaps(
-                backend,
-                {"cuda.blockIdx": None,
-                 "cuda.threadIdx": self.block_size,
-                 "openmp": self.num_threads},
-                vector_width=32,
-                stride_matters=True)
-        if backend == "pycode":
-            from ..codegen.pycode import loop_vectorizes
-
-            return BackendCaps(backend, {}, vector_width=None,
-                               stride_matters=False,
-                               vec_feasible=loop_vectorizes)
-        # the reference interpreter (and unknown backends): sequential
-        # scalar evaluation; every annotation is a no-op
-        return BackendCaps(backend, {}, vector_width=1,
-                           stride_matters=False)
+        return backend_caps(backend, self)
 
     def __repr__(self):  # pragma: no cover
         return f"Target({self.kind}:{self.name})"
@@ -124,4 +59,9 @@ GPU = Target("gpu", "sim-v100", num_threads=0, block_size=256)
 
 
 def default_target(backend: str = "pycode") -> Target:
-    return GPU if backend == "gpusim" else CPU
+    """The default scheduling target for ``backend``, per its registered
+    ``target_kind`` declaration (CPU for unknown names)."""
+    from ..backend import find_backend
+
+    b = find_backend(backend)
+    return b.default_target() if b is not None else CPU

@@ -22,12 +22,12 @@ from ..ir import (AccessType, DataType, Func, Load, MemType, Stmt, VarDef,
                   defined_tensors)
 from ..ir import expr as E
 from ..ir import stmt as S
-from ..pipeline.legalize import declare_legalization, legalize
+from ..pipeline.legalize import legalize
 
 # gcc only allows simd-safe constructs inside an ``omp simd`` region;
 # the simd_suppress pass clears vectorize markings this backend could
-# not honour, so codegen below can emit the pragma unconditionally
-declare_legalization("c", ("simd_suppress",))
+# not honour (declared on the "c" Backend in repro.backend.builtin), so
+# codegen below can emit the pragma unconditionally
 
 _CTYPE = {
     DataType.FLOAT32: "float",

@@ -16,11 +16,12 @@ from typing import Dict, List, Tuple
 from ..errors import BackendError
 from ..ir import (DataType, For, Func, MemType, Stmt, VarDef)
 from ..ir import stmt as S
-from ..pipeline.legalize import declare_legalization, legalize
+from ..pipeline.legalize import legalize
 from .ccode import CCodegen, _CTYPE
 
-# nvcc shares gcc's restrictions on what may appear inside a simd region
-declare_legalization("cuda", ("simd_suppress",))
+# nvcc shares gcc's restrictions on what may appear inside a simd
+# region; simd_suppress is declared on the "cuda" Backend object in
+# repro.backend.builtin
 
 _AXES = {"x": 0, "y": 1, "z": 2}
 

@@ -17,10 +17,9 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import BackendError
 from ..ir import expr as E
 from ..ir import stmt as S
-from ..pipeline.legalize import declare_legalization
 
-# the interpreter executes vectorize markings itself — nothing to legalize
-declare_legalization("pycode", ())
+# legalization: none — this backend interprets vectorize markings itself
+# (declared on the pycode Backend object in repro.backend.builtin)
 
 _SCALAR_INTRIN = {
     "abs": "abs",

@@ -1,18 +1,20 @@
 """Target-aware legalization passes.
 
 Each backend *declares* the passes its code generator requires before it
-can emit the IR (``declare_legalization``), and the pipeline builders in
-``repro.pipeline`` append those passes after the standard lowering
-sequence. Code generators therefore see pre-legalized IR and emit it
-directly, instead of special-casing shapes they cannot handle — e.g. the
-OpenMP simd-suppression logic that used to live inside
-``codegen/ccode.py`` is now the ``simd_suppress`` pass below.
+can emit the IR, and the pipeline builders in ``repro.pipeline`` append
+those passes after the standard lowering sequence. Code generators
+therefore see pre-legalized IR and emit it directly, instead of
+special-casing shapes they cannot handle — e.g. the OpenMP
+simd-suppression logic that used to live inside ``codegen/ccode.py`` is
+now the ``simd_suppress`` pass below.
 
-The table here pre-seeds declarations for every built-in backend (the
-pipeline for a backend is constructed before the backend module is
-imported); the backend modules re-declare their own requirements at
-import as the in-situ statement of record, and out-of-tree backends
-register theirs the same way.
+Declarations live on the :class:`~repro.backend.Backend` objects in the
+unified registry (``repro.backend``): ``Backend.legalization`` names the
+ordered passes, and backends may contribute implementations of their own
+via ``Backend.legalization_impls`` (the ``npblock`` backend's
+auto-vectorize pass arrives that way). The :func:`declare_legalization`
+function remains as a thin shim over the registry for out-of-tree
+callers that predate Backend objects.
 """
 
 from __future__ import annotations
@@ -60,48 +62,92 @@ def suppress_illegal_simd(func: Func) -> Func:
 
 
 # ---------------------------------------------------------------------------
-# registry
+# registry shims (declarations live on repro.backend Backend objects)
 # ---------------------------------------------------------------------------
 
-#: legalization pass implementations by name
+#: built-in legalization pass implementations by name (backends add
+#: their own via ``Backend.legalization_impls``)
 LEGALIZATION_PASSES = {
     "simd_suppress": suppress_illegal_simd,
 }
 
-#: backend name -> ordered pass names its code generator requires.
-#: "c" and "cuda" reuse the same simd-capable statement printer; the
-#: interpreter, the CUDA simulator and the NumPy backend interpret
-#: parallel/vectorize markings themselves and need no IR rewrites.
-_BACKEND_LEGALIZATION: Dict[str, Tuple[str, ...]] = {
-    "c": ("simd_suppress",),
-    "cuda": ("simd_suppress",),
-    "gpusim": (),
-    "interp": (),
-    "pycode": (),
-}
+#: declarations for backend names with no registered Backend object
+#: (out-of-tree callers using the pre-registry ``declare_legalization``)
+_UNREGISTERED_LEGALIZATION: Dict[str, Tuple[str, ...]] = {}
+
+
+def known_legalization_passes() -> List[str]:
+    """Names of the built-in legalization passes (the table a
+    ``Backend.legalization`` declaration may reference without bringing
+    an implementation along)."""
+    return sorted(LEGALIZATION_PASSES)
+
+
+def _pass_impl(name: str):
+    fn = LEGALIZATION_PASSES.get(name)
+    if fn is None:
+        from ..backend import legalization_impl
+
+        fn = legalization_impl(name)
+    if fn is None:
+        raise ValueError(
+            f"no implementation for legalization pass {name!r}; known: "
+            f"{known_legalization_passes()}")
+    return fn
 
 
 def declare_legalization(backend: str, pass_names) -> None:
-    """Declare the legalization passes ``backend``'s codegen requires
-    (each name must exist in ``LEGALIZATION_PASSES``)."""
+    """Declare the legalization passes ``backend``'s codegen requires.
+
+    Thin shim over the unified registry: when ``backend`` is a
+    registered :class:`~repro.backend.Backend` its declaration is
+    updated in place; otherwise the names are kept aside and served by
+    :func:`declared_legalization` until the backend registers properly.
+    """
+    from ..backend import find_backend, legalization_impl
+
     names = tuple(pass_names)
     for n in names:
-        if n not in LEGALIZATION_PASSES:
+        if n not in LEGALIZATION_PASSES and legalization_impl(n) is None:
             raise ValueError(
                 f"unknown legalization pass {n!r}; known: "
-                f"{sorted(LEGALIZATION_PASSES)}")
-    _BACKEND_LEGALIZATION[backend] = names
+                f"{known_legalization_passes()}")
+    b = find_backend(backend)
+    if b is not None:
+        b.legalization = names
+    else:
+        _UNREGISTERED_LEGALIZATION[backend] = names
 
 
 def declared_legalization(backend: str) -> Tuple[str, ...]:
-    """The pass names ``backend`` declared (empty for unknown backends)."""
-    return _BACKEND_LEGALIZATION.get(backend, ())
+    """The pass names ``backend`` declared (via its registered
+    :class:`~repro.backend.Backend`, or the :func:`declare_legalization`
+    shim; empty for unknown backends)."""
+    from ..backend import find_backend
+
+    b = find_backend(backend)
+    if b is not None:
+        return b.legalization
+    return _UNREGISTERED_LEGALIZATION.get(backend, ())
 
 
 def legalization_passes(backend: str) -> List[Pass]:
-    """Pass objects for ``backend``'s declared legalization sequence."""
-    return [Pass(n, LEGALIZATION_PASSES[n])
-            for n in declared_legalization(backend)]
+    """Pass objects for ``backend``'s declared legalization sequence.
+
+    Each Pass carries the backend's ``caps_version`` in its cache
+    ``key`` (``name@version``), so bumping the version on a Backend
+    invalidates cached pipeline chains that ran its legalization while
+    leaving the shared standard-lowering prefix untouched.
+    """
+    from ..backend import find_backend
+
+    b = find_backend(backend)
+    version = b.caps_version if b is not None else None
+    out = []
+    for n in declared_legalization(backend):
+        key = f"{n}@{version}" if version is not None else n
+        out.append(Pass(n, _pass_impl(n), key=key))
+    return out
 
 
 def legalize(func: Func, backend: str) -> Func:

@@ -170,15 +170,23 @@ class Pass:
     ``cacheable=False`` marks passes whose output depends on state beyond
     the input tree — the auto-scheduler's rule passes share a mutable
     Schedule session, for example — so they always run.
+
+    ``key`` is the identity the cache chains use for this pass (default:
+    the name). Backend legalization passes set ``key`` to
+    ``name@caps_version`` so bumping a backend's declared version
+    invalidates cached chains through its legalization, while ``name``
+    stays clean for timings and metrics — and the standard-lowering
+    prefix of the chain remains shared across backends.
     """
 
-    __slots__ = ("name", "fn", "cacheable")
+    __slots__ = ("name", "fn", "cacheable", "key")
 
     def __init__(self, name: str, fn: Callable[[Func], Func],
-                 cacheable: bool = True):
+                 cacheable: bool = True, key: Optional[str] = None):
         self.name = name
         self.fn = fn
         self.cacheable = cacheable
+        self.key = key if key is not None else name
 
     def __repr__(self):  # pragma: no cover
         tag = "" if self.cacheable else ", uncacheable"
@@ -267,7 +275,7 @@ class Pipeline:
             if anchor[2] is None:
                 anchor[2] = canonical_key(anchor[0])
             canon, sids = anchor[2]
-            names = anchor[1] + [self.passes[m].name
+            names = anchor[1] + [self.passes[m].key
                                  for m in range(i, upto + 1)]
             return canon + "|" + "|".join(names), sids
 
@@ -288,8 +296,8 @@ class Pipeline:
             keys = []
             ch = chain
             while j < n and self.passes[j].cacheable:
-                keys.append((self.passes[j].name, ch))
-                ch = ch + "|" + self.passes[j].name
+                keys.append((self.passes[j].key, ch))
+                ch = ch + "|" + self.passes[j].key
                 j += 1
             # serve from the deepest pass in the segment with an entry
             t0 = time.perf_counter()
@@ -328,8 +336,8 @@ class Pipeline:
                         times[name] = times.get(name, 0.0) + d
                 cur = out
                 chain = keys[hit_idx - i][1] + "|" + \
-                    self.passes[hit_idx].name
-                anchor[1].extend(self.passes[k].name
+                    self.passes[hit_idx].key
+                anchor[1].extend(self.passes[k].key
                                  for k in range(i, hit_idx + 1))
                 i = hit_idx + 1
                 continue
@@ -344,7 +352,7 @@ class Pipeline:
                 dkey, sids = disk_key(j - 1)
                 disk.ir_store("pass", dkey, sids, cur)
             chain = ch
-            anchor[1].extend(self.passes[k].name for k in range(i, j))
+            anchor[1].extend(self.passes[k].key for k in range(i, j))
             i = j
         return cur
 

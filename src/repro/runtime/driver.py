@@ -20,13 +20,15 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..backend import (available_backends, backend_cache_tag, get_backend,
+                       register_backend)
 from ..errors import BackendError, InvalidProgram
 from ..ir import (AccessType, Const, Expr, Func, IntConst, Var, VarDef,
                   defined_tensors, struct_hash)
 from ..frontend.staging import Program
 
-#: registry of backend builders: name -> callable(func, **opts) -> run(env)
-_BACKENDS = {}
+__all__ = ["Executable", "build", "build_cache_stats", "clear_build_cache",
+           "register_backend"]
 
 #: content-addressed build cache: (IR hash, backend, optimize, target,
 #: opts) -> Executable. Executables are stateless between calls, so a
@@ -56,77 +58,20 @@ def _target_key(target):
 
 
 def _build_cache_key(func, backend, optimize, target, opts):
-    """The cache key, or None when some option defies content hashing."""
+    """The cache key, or None when some option defies content hashing.
+
+    The backend component is its registry ``cache_tag``
+    (``name@caps_version``), so bumping a Backend's declared version
+    invalidates cached Executables built under the old declarations.
+    """
     items = []
     for k in sorted(opts):
         v = opts[k]
         if not isinstance(v, (str, int, float, bool, type(None))):
             return None  # stateful opts (metrics sinks, devices): no cache
         items.append((k, v))
-    return (struct_hash(func), backend, bool(optimize),
+    return (struct_hash(func), backend_cache_tag(backend), bool(optimize),
             _target_key(target), tuple(items))
-
-
-def register_backend(name: str):
-
-    def deco(fn):
-        _BACKENDS[name] = fn
-        return fn
-
-    return deco
-
-
-@register_backend("interp")
-def _build_interp(func: Func, metrics=None, **_opts):
-    from .interpreter import Interpreter
-
-    interp = Interpreter(metrics=metrics)
-
-    def run(env):
-        interp.run(func, env)
-
-    return run
-
-
-@register_backend("pycode")
-def _build_pycode(func: Func, **_opts):
-    from ..codegen.pycode import compile_func
-
-    kernel = compile_func(func)
-    interface = func.interface_tensors()
-
-    def run(env):
-        args = [env[p] for p in interface]
-        args += [env[p] for p in func.scalar_params]
-        kernel(*args)
-
-    run.__ft_source__ = kernel.__ft_source__
-    return run
-
-
-@register_backend("c")
-def _build_c(func: Func, **opts):
-    from ..codegen.ccode import compile_func_native
-
-    native = compile_func_native(func, **opts)
-
-    def run(env):
-        native(env)
-
-    run.__ft_source__ = native.__ft_source__
-    return run
-
-
-@register_backend("gpusim")
-def _build_gpusim(func: Func, device=None, metrics=None, **_opts):
-    from .gpusim import GPUSimulator
-
-    sim = GPUSimulator(device=device, metrics=metrics)
-
-    def run(env):
-        sim.run(func, env)
-
-    return run
 
 
 class Executable:
@@ -337,15 +282,16 @@ def build(program_or_func,
         t0 = time.perf_counter()
         run_verifier(func).raise_if_errors()
         times["verify"] = time.perf_counter() - t0
-    try:
-        builder = _BACKENDS[backend]
-    except KeyError:
-        raise BackendError(f"unknown backend {backend!r}; available: "
-                           f"{sorted(_BACKENDS)}") from None
+    b = get_backend(backend)
+    if not b.runnable:
+        raise BackendError(
+            f"backend {b.name!r} is codegen-only (emits source but "
+            f"cannot execute it here); runnable backends: "
+            f"{available_backends()}")
     t0 = time.perf_counter()
-    run_fn = builder(func, target=target, **opts)
+    run_fn = b.build(func, target=target, **opts)
     times["codegen"] = time.perf_counter() - t0
-    exe = Executable(func, run_fn, backend, compile_times=times)
+    exe = Executable(func, run_fn, b.name, compile_times=times)
     if key is not None:
         if len(_BUILD_CACHE) >= _BUILD_CACHE_LIMIT:  # pragma: no cover
             _BUILD_CACHE.clear()

@@ -290,6 +290,7 @@ def reset_search_stats():
 
 _POOL_STATS = {
     "sessions": 0,         # measurement pools started
+    "backend": "",         # registry name of the last session's backend
     "max_workers": 0,      # largest pool size seen
     "tasks": 0,            # measurement tasks dispatched to workers
     "task_failures": 0,    # candidate compile/run raised in a worker
@@ -301,8 +302,10 @@ _POOL_STATS = {
 }
 
 
-def record_pool_session(workers: int):
+def record_pool_session(workers: int, backend: str = ""):
     _POOL_STATS["sessions"] += 1
+    if backend:
+        _POOL_STATS["backend"] = str(backend)
     _POOL_STATS["max_workers"] = max(_POOL_STATS["max_workers"],
                                      int(workers))
 
@@ -336,7 +339,10 @@ def pool_stats() -> Dict[str, float]:
 
 def reset_pool_stats():
     for k in _POOL_STATS:
-        _POOL_STATS[k] = 0.0 if k.endswith("_s") else 0
+        if k == "backend":
+            _POOL_STATS[k] = ""
+        else:
+            _POOL_STATS[k] = 0.0 if k.endswith("_s") else 0
 
 
 class MetricsCollector:

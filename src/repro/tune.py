@@ -35,6 +35,7 @@ def _workload_inputs(mod, func):
 def main(argv=None) -> int:
     from .autosched import (EvolutionaryTuner, RandomTuner,
                             StructuredTuner)
+    from .backend import available_backends
     from .runtime import metrics
     from .schedule import Schedule
     from .workloads import ALL
@@ -48,6 +49,7 @@ def main(argv=None) -> int:
                         choices=["structured", "random", "evolutionary"],
                         help="search strategy (default: structured)")
     parser.add_argument("--backend", default="pycode",
+                        choices=available_backends(),
                         help="measurement backend (default: pycode)")
     parser.add_argument("--rounds", type=int, default=32,
                         help="candidate budget (default: 32)")

@@ -110,6 +110,14 @@ def _diag_json(d) -> dict:
     }
 
 
+def _backend_choices() -> List[str]:
+    """Every registered backend, runnable or not: the cost model only
+    reads capability tables, so codegen-only backends (cuda) are valid."""
+    from ..backend import available_backends
+
+    return available_backends(runnable_only=False)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
@@ -132,6 +140,7 @@ def main(argv=None) -> int:
                              "counts, loop trips, memory traffic, "
                              "parallelism, and FT5xx perf findings")
     parser.add_argument("--backend", default="pycode",
+                        choices=_backend_choices(),
                         help="backend whose capability table the cost "
                              "model uses (with --cost)")
     args = parser.parse_args(argv)

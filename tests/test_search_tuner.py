@@ -354,7 +354,8 @@ class TestIsolation:
         with m.MeasurementPool(workers=1, backend="pycode",
                                inputs=()) as pool:
             out = pool.measure_batch([(base, None)])
-        assert out == [("failed", "TypeError: bad candidate")]
+        # failure payloads carry the registry backend name
+        assert out == [("failed", "pycode: TypeError: bad candidate")]
 
     def test_selective_fault_spares_other_candidates(self, monkeypatch):
         # crash only one specific candidate: the others still measure
