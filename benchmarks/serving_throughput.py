@@ -1,0 +1,144 @@
+"""Serving throughput benchmark + the dynamic-batching CI gate.
+
+For each workload, runs the same deterministic request mix two ways —
+serially (one compiled call per request: the no-serving baseline) and
+through a :class:`repro.serving.Server` in thread mode — verifies the
+batched responses bit-match the semantics of the serial ones, writes
+``benchmarks/results/serving_throughput.json`` and fails (exit 1)
+unless dynamic batching is at least ``GATE_SPEEDUP``x faster on at
+least ``GATE_WINS`` workloads, at least one of them *ragged*
+(pad-and-mask longformer or concat-with-offsets gat).
+
+The request sizes (``repro.serving.endpoints.SERVE_SIZES``) are small
+on purpose: serving batching amortizes per-call dispatch (binding,
+ctypes marshalling, Python glue), not kernel arithmetic, so the gate
+measures the dispatch-bound regime that dominates real model-serving
+request streams. Timing follows the house convention (best of
+``REPEATS``; compiles warmed before the clock starts).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serving_throughput.py
+"""
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.runtime.metrics import (reset_serving_stats,  # noqa: E402
+                                   serving_stats)
+from repro.serving import Server, default_endpoints  # noqa: E402
+
+#: batched must beat serial GATE_SPEEDUP x on >= GATE_WINS workloads,
+#: of which at least one must use a ragged strategy
+GATE_SPEEDUP = 2.0
+GATE_WINS = 2
+RAGGED = ("longformer", "gat")
+
+BACKEND = "c"
+REQUESTS = 256
+MAX_BATCH = 64
+MAX_WAIT_S = 0.005
+REPEATS = 7
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+OUT_PATH = os.path.join(RESULTS_DIR, "serving_throughput.json")
+
+
+def bench(name: str):
+    eps = default_endpoints(backend=BACKEND, names=[name])
+    ep = eps[name].warm()
+    traffic = ep.gen_requests(REQUESTS, seed=0)
+    exe = ep.executable(ep.base_func())
+
+    # serial baseline (warm the binding plans first)
+    for arrays, scalars in traffic[:8]:
+        exe(*arrays, **scalars)
+    refs = [exe(*arrays, **scalars) for arrays, scalars in traffic]
+    serial = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for arrays, scalars in traffic:
+            exe(*arrays, **scalars)
+        serial = min(serial, time.perf_counter() - t0)
+
+    # batched via the real server path
+    reset_serving_stats()
+    srv = Server(eps, mode="thread", workers=1, max_batch=MAX_BATCH,
+                 max_wait_s=MAX_WAIT_S, queue_limit=4 * REQUESTS)
+    warm = srv.submit_many(name, traffic)
+    for p in warm:
+        assert p.result(timeout=120).ok
+    batched = float("inf")
+    responses = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        pendings = srv.submit_many(name, traffic)
+        responses = [p.result(timeout=120) for p in pendings]
+        batched = min(batched, time.perf_counter() - t0)
+    srv.close()
+    stats = serving_stats()
+
+    for ref, resp in zip(refs, responses):
+        assert resp.ok, f"{name}: {resp.status}: {resp.error}"
+        np.testing.assert_allclose(resp.value, ref, rtol=1e-3,
+                                   atol=1e-4)
+
+    return {
+        "serial_s": round(serial, 6),
+        "batched_s": round(batched, 6),
+        "serial_rps": round(REQUESTS / serial, 1),
+        "batched_rps": round(REQUESTS / batched, 1),
+        "speedup": round(serial / batched, 2),
+        "ragged": name in RAGGED,
+        "batch_size_hist": stats["batch_size_hist"],
+        "pad_elements": stats["pad_elements"],
+        "latency_p50_ms": round(stats["latency_p50_s"] * 1e3, 3),
+        "latency_p99_ms": round(stats["latency_p99_s"] * 1e3, 3),
+    }
+
+
+def main() -> int:
+    results = {}
+    for name in ("subdivnet", "longformer", "softras", "gat"):
+        results[name] = bench(name)
+        r = results[name]
+        print(f"{name:12s} serial {r['serial_rps']:8.0f} req/s  "
+              f"batched {r['batched_rps']:8.0f} req/s  "
+              f"speedup {r['speedup']:.2f}x"
+              f"{'  (ragged)' if r['ragged'] else ''}")
+
+    wins = sorted(n for n, r in results.items()
+                  if r["speedup"] >= GATE_SPEEDUP)
+    ragged_wins = [n for n in wins if n in RAGGED]
+    passed = len(wins) >= GATE_WINS and len(ragged_wins) >= 1
+    results["_gate"] = {
+        "rule": f"batched >= {GATE_SPEEDUP}x serial on >= {GATE_WINS} "
+                f"workloads, >= 1 ragged",
+        "winning_workloads": wins,
+        "ragged_winners": ragged_wins,
+        "passed": passed,
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(OUT_PATH, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+    print(f"wrote {OUT_PATH}")
+
+    if not passed:
+        print(f"FAIL: batched >= {GATE_SPEEDUP}x on {wins} "
+              f"(ragged: {ragged_wins}); need {GATE_WINS} wins with "
+              f">= 1 ragged")
+        return 1
+    print(f"gate passed: {wins} (ragged: {ragged_wins})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,11 +78,12 @@ def compile_cache_stats():
     from .analysis import analysis_cache_stats
     from .pipeline import pass_cache_stats
     from .polyhedral import feasibility_stats
-    from .runtime.driver import build_cache_stats
+    from .runtime.driver import bind_cache_stats, build_cache_stats
     from .runtime.metrics import disk_cache_stats
 
     return {
         "build": build_cache_stats(),
+        "bind": bind_cache_stats(),
         "passes": pass_cache_stats(),
         "deps": analysis_cache_stats(),
         "omega": feasibility_stats(),

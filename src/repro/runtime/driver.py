@@ -15,8 +15,9 @@
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,8 +28,9 @@ from ..ir import (AccessType, Const, Expr, Func, IntConst, Var, VarDef,
                   defined_tensors, struct_hash)
 from ..frontend.staging import Program
 
-__all__ = ["Executable", "build", "build_cache_stats", "clear_build_cache",
-           "register_backend"]
+__all__ = ["Executable", "bind_cache_stats", "build", "build_cache_stats",
+           "clear_build_cache", "register_backend",
+           "reset_bind_cache_stats"]
 
 #: content-addressed build cache: (IR hash, backend, optimize, target,
 #: opts) -> Executable. Executables are stateless between calls, so a
@@ -46,6 +48,44 @@ def clear_build_cache():
 def build_cache_stats() -> Dict[str, int]:
     """Hit/miss counters of the content-addressed build cache."""
     return dict(_BUILD_STATS)
+
+
+#: process-wide binding-plan counters (every Executable's plans folded
+#: together); surfaced as compile_cache_stats()["bind"]
+_BIND_STATS = {"plan_hits": 0, "plan_misses": 0, "plan_uncacheable": 0}
+
+
+def bind_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-shape-signature binding-plan memo
+    (see :meth:`Executable._bind`)."""
+    return dict(_BIND_STATS)
+
+
+def reset_bind_cache_stats():
+    for k in _BIND_STATS:
+        _BIND_STATS[k] = 0
+
+
+class _BindPlan:
+    """A validated binding recipe for one exact call signature.
+
+    Everything ``_bind`` derives from the *shapes* of a call — inferred
+    shape scalars, per-parameter target dtypes, output allocation shapes
+    — is a pure function of the signature key, so repeat calls with the
+    same key replay the recipe and skip re-validation and dim inference
+    entirely. Only genuinely per-call properties (contiguity, the need
+    to cast this particular array) are still checked on the hit path.
+    """
+
+    __slots__ = ("params", "scalars", "outs")
+
+    def __init__(self, params, scalars, outs):
+        #: [(name, target numpy dtype)] in data_params order
+        self.params = params
+        #: name -> int for every scalar/shape variable, fully inferred
+        self.scalars = scalars
+        #: [(name, shape tuple, numpy dtype)] the driver must allocate
+        self.outs = outs
 
 
 def _target_key(target):
@@ -75,7 +115,33 @@ def _build_cache_key(func, backend, optimize, target, opts):
 
 
 class Executable:
-    """A compiled DSL function, callable on NumPy arrays."""
+    """A compiled DSL function, callable on NumPy arrays.
+
+    **Concurrency contract.** ``__call__`` is safe to invoke from many
+    threads at once on the same Executable: every call binds a fresh
+    environment (freshly-allocated outputs, per-call converted inputs)
+    and the built-in runnable backends (``pycode``, ``npblock``, ``c``,
+    ``interp``, ``gpusim``) keep no per-call mutable state in their run
+    functions — the ``c`` backend additionally releases the GIL for the
+    duration of the native call. Two caveats:
+
+    - an Executable built with a stateful option (e.g. a ``metrics``
+      sink for ``interp``/``gpusim``) shares that sink across calls;
+      concurrent callers race on its counters unless they synchronize
+      or build one Executable per thread;
+    - input arrays are read (and ``inout`` parameters written) without
+      locking — callers must not mutate an array another thread is
+      concurrently passing to the same call.
+
+    The per-signature binding-plan memo below is guarded by a lock on
+    the store side and relies on GIL-atomic dict reads on the hit path,
+    so concurrent first calls at a new signature are safe (both compute
+    the plan; one wins the store).
+    """
+
+    #: distinct call signatures memoized per Executable before the plan
+    #: cache resets (mirrors _BUILD_CACHE_LIMIT's wholesale clearing)
+    _PLAN_LIMIT = 64
 
     def __init__(self, func: Func, run_fn, backend: str,
                  compile_times: Optional[Dict[str, float]] = None):
@@ -100,9 +166,67 @@ class Executable:
         ]
         self.returns: List[str] = list(
             dict.fromkeys(self.out_params + list(func.returns)))
+        #: signature key -> _BindPlan (see _bind)
+        self._plans: Dict[tuple, _BindPlan] = {}
+        self._plans_lock = threading.Lock()
 
     # -- shape/scalars inference ------------------------------------------
+    @staticmethod
+    def _plan_key(converted: List[np.ndarray], scalars
+                  ) -> Optional[tuple]:
+        """The signature a binding plan is memoized under, or None for
+        calls whose scalars defy hashing (then every call re-validates).
+        """
+        try:
+            return (tuple((a.shape, a.dtype.str) for a in converted),
+                    tuple(sorted((k, int(v)) for k, v in scalars.items())))
+        except (TypeError, ValueError):
+            return None
+
+    def _bind_from_plan(self, plan: _BindPlan,
+                        converted: List[np.ndarray]) -> Dict[str, object]:
+        env: Dict[str, object] = {}
+        for (name, np_dt), arr in zip(plan.params, converted):
+            if arr.dtype != np_dt:
+                arr = arr.astype(np_dt)
+            if arr.ndim and not arr.flags["C_CONTIGUOUS"]:
+                arr = np.ascontiguousarray(arr)
+            env[name] = arr
+        env.update(plan.scalars)
+        for name, shape, np_dt in plan.outs:
+            env[name] = np.zeros(shape, dtype=np_dt)
+        return env
+
     def _bind(self, arrays, scalars) -> Dict[str, object]:
+        """Bind a call to an environment, via the per-signature plan memo.
+
+        The first call at a given (shapes, dtypes, scalars) signature
+        runs the full validation/inference path and records a
+        :class:`_BindPlan`; repeat calls replay it.
+        """
+        converted = [np.asarray(a) for a in arrays]
+        key = None
+        if len(converted) == len(self.data_params):
+            key = self._plan_key(converted, scalars)
+            if key is not None:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    _BIND_STATS["plan_hits"] += 1
+                    return self._bind_from_plan(plan, converted)
+                _BIND_STATS["plan_misses"] += 1
+            else:
+                _BIND_STATS["plan_uncacheable"] += 1
+        env, plan = self._bind_slow(converted, scalars)
+        if key is not None:
+            with self._plans_lock:
+                if len(self._plans) >= self._PLAN_LIMIT:
+                    self._plans.clear()
+                self._plans[key] = plan
+        return env
+
+    def _bind_slow(self, converted: List[np.ndarray], scalars
+                   ) -> Tuple[Dict[str, object], _BindPlan]:
+        arrays = converted
         if len(arrays) != len(self.data_params):
             raise InvalidProgram(
                 f"{self.func.name} expects {len(self.data_params)} arrays "
@@ -115,12 +239,9 @@ class Executable:
         extra = set(scalars) - set(sc)
         if extra:
             raise InvalidProgram(f"unknown scalar parameters: {sorted(extra)}")
-        # Unify declared shapes against actual shapes (converting each
-        # array exactly once; the checked arrays are reused below).
-        converted: List[np.ndarray] = []
+        # Unify declared shapes against actual shapes (arrays were
+        # converted to ndarrays exactly once, in _bind).
         for name, arr in zip(self.data_params, arrays):
-            arr = np.asarray(arr)
-            converted.append(arr)
             vd = self._defs[name]
             if arr.ndim != vd.ndim:
                 raise InvalidProgram(
@@ -139,8 +260,10 @@ class Executable:
                     f"shapes; pass it as a keyword argument")
         # Check dims and convert dtypes. (np.ascontiguousarray promotes
         # 0-D arrays to 1-D, so contiguity is handled separately.)
-        for name, arr in zip(self.data_params, converted):
+        plan_params = []
+        for name, arr in zip(self.data_params, arrays):
             vd = self._defs[name]
+            plan_params.append((name, vd.dtype.to_numpy()))
             if arr.dtype != vd.dtype.to_numpy():
                 arr = arr.astype(vd.dtype.to_numpy())
             if arr.ndim and not arr.flags["C_CONTIGUOUS"]:
@@ -154,13 +277,15 @@ class Executable:
             env[name] = arr
         env.update(sc)
         # Allocate outputs.
+        plan_outs = []
         for name in self.returns:
             if name in env:
                 continue
             vd = self._defs[name]
             shape = tuple(self._eval_dim(d, sc) for d in vd.shape)
+            plan_outs.append((name, shape, vd.dtype.to_numpy()))
             env[name] = np.zeros(shape, dtype=vd.dtype.to_numpy())
-        return env
+        return env, _BindPlan(plan_params, dict(sc), plan_outs)
 
     @staticmethod
     def _shape_str(vd: VarDef) -> str:

@@ -345,6 +345,134 @@ def reset_pool_stats():
             _POOL_STATS[k] = 0.0 if k.endswith("_s") else 0
 
 
+# ---------------------------------------------------------------------------
+# Serving-runtime counters (see repro.serving and docs/SERVING.md):
+# admission, batching, worker-pool outcomes, latency, per-tenant usage.
+# ---------------------------------------------------------------------------
+
+_SERVING_STATS = {
+    "submitted": 0,         # requests offered to Server.submit
+    "admitted": 0,          # ... accepted into a bucket queue
+    "rejected_quota": 0,    # ... refused: tenant over its in-flight quota
+    "rejected_queue": 0,    # ... refused: bounded queue full (backpressure)
+    "completed": 0,         # responses with status "ok"
+    "failed": 0,            # responses with status "failed" (incl. crashes)
+    "timed_out": 0,         # responses with status "timeout"
+    "batches": 0,           # batched executions dispatched
+    "batched_requests": 0,  # requests carried by those batches
+    "worker_respawns": 0,   # serving workers replaced after crash/hang
+    "queue_depth_peak": 0,  # largest total queued-request count seen
+    "pad_elements": 0,      # padding elements added by ragged pad batching
+}
+
+#: batch size -> number of batches of that size
+_SERVING_BATCH_HIST: Dict[int, int] = {}
+
+#: bounded reservoir of request latencies (seconds, admission->response)
+_SERVING_LATENCIES: List[float] = []
+_SERVING_LATENCY_CAP = 4096
+
+#: tenant -> {"submitted": n, "completed": n, "rejected": n, "failed": n}
+_SERVING_TENANTS: Dict[str, Dict[str, int]] = {}
+
+
+def _tenant_row(tenant: str) -> Dict[str, int]:
+    row = _SERVING_TENANTS.get(tenant)
+    if row is None:
+        row = _SERVING_TENANTS[tenant] = {
+            "submitted": 0, "completed": 0, "rejected": 0, "failed": 0}
+    return row
+
+
+def record_serving_submit(tenant: str, outcome: str, n: int = 1):
+    """Account ``n`` same-outcome admission decisions; ``outcome`` is
+    ``admitted`` / ``rejected_quota`` / ``rejected_queue``. The count
+    parameter lets the server's wave-submission path record a whole
+    batch of decisions in one call."""
+    _SERVING_STATS["submitted"] += n
+    _SERVING_STATS[outcome] += n
+    row = _tenant_row(tenant)
+    row["submitted"] += n
+    if outcome != "admitted":
+        row["rejected"] += n
+
+
+_RESPONSE_KEY = {"ok": "completed", "failed": "failed",
+                 "timeout": "timed_out"}
+
+
+def record_serving_response(tenant: str, status: str, latency_s: float):
+    """Account one terminal response; ``status`` is ``ok`` / ``failed``
+    / ``timeout``."""
+    _SERVING_STATS[_RESPONSE_KEY[status]] += 1
+    row = _tenant_row(tenant)
+    row["completed" if status == "ok" else "failed"] += 1
+    if len(_SERVING_LATENCIES) < _SERVING_LATENCY_CAP:
+        _SERVING_LATENCIES.append(float(latency_s))
+
+
+def record_serving_responses(tenant: str, status: str,
+                             latencies: List[float]):
+    """Bulk form of :func:`record_serving_response` for one batch whose
+    requests share a tenant and terminal status."""
+    n = len(latencies)
+    _SERVING_STATS[_RESPONSE_KEY[status]] += n
+    row = _tenant_row(tenant)
+    row["completed" if status == "ok" else "failed"] += n
+    room = _SERVING_LATENCY_CAP - len(_SERVING_LATENCIES)
+    if room > 0:
+        _SERVING_LATENCIES.extend(float(x) for x in latencies[:room])
+
+
+def record_serving_batch(size: int, pad_elements: int = 0):
+    _SERVING_STATS["batches"] += 1
+    _SERVING_STATS["batched_requests"] += int(size)
+    _SERVING_STATS["pad_elements"] += int(pad_elements)
+    _SERVING_BATCH_HIST[int(size)] = \
+        _SERVING_BATCH_HIST.get(int(size), 0) + 1
+
+
+def record_serving_queue_depth(depth: int):
+    _SERVING_STATS["queue_depth_peak"] = max(
+        _SERVING_STATS["queue_depth_peak"], int(depth))
+
+
+def record_serving_respawn():
+    _SERVING_STATS["worker_respawns"] += 1
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def serving_stats() -> Dict[str, object]:
+    """Cumulative serving-runtime counters for this process: admission
+    and terminal-response counts, the batch-size histogram, p50/p99
+    request latency (seconds, over a bounded reservoir) and per-tenant
+    usage rows. Follows the other ``*_stats()`` conventions in this
+    module (plain dict snapshot; reset via ``reset_serving_stats``)."""
+    out: Dict[str, object] = dict(_SERVING_STATS)
+    out["batch_size_hist"] = dict(sorted(_SERVING_BATCH_HIST.items()))
+    out["latency_p50_s"] = _percentile(_SERVING_LATENCIES, 0.50)
+    out["latency_p99_s"] = _percentile(_SERVING_LATENCIES, 0.99)
+    out["latency_samples"] = len(_SERVING_LATENCIES)
+    out["per_tenant"] = {t: dict(r) for t, r in
+                         sorted(_SERVING_TENANTS.items())}
+    return out
+
+
+def reset_serving_stats():
+    for k in _SERVING_STATS:
+        _SERVING_STATS[k] = 0
+    _SERVING_BATCH_HIST.clear()
+    _SERVING_LATENCIES.clear()
+    _SERVING_TENANTS.clear()
+
+
 class MetricsCollector:
     """Counts events reported by the interpreter / simulated device."""
 

@@ -1,0 +1,215 @@
+"""Ragged batching for the irregular workloads.
+
+Two strategies cover the paper's irregular request shapes:
+
+- :class:`PadStrategy` (pad-and-mask) — variable-*length* requests
+  (Longformer sequences) are padded to the batch maximum and executed
+  by a length-aware batched program that masks the padding: each batch
+  element carries its true length in a ``lens`` array and the program
+  only iterates ``[0, lens[b])``, so padding never contaminates real
+  tokens and its cost is bounded by the pad waste, not by attention over
+  garbage. Pad lengths are quantized (``pad_to``) so the driver's
+  binding-plan memo and the native-artifact store see few distinct
+  shapes.
+- :class:`ConcatCSRStrategy` (concat-with-offsets) — variable-*size*
+  CSR graphs (GAT) are concatenated block-diagonally: indptr rows are
+  rebased by the running edge count, indices by the running node count,
+  and node features are stacked. A disjoint union of graphs is
+  semantically just a bigger graph, so the *unbatched* compiled program
+  serves the whole batch in one call and outputs split back by node
+  offsets. No padding, no masking, zero waste.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .strategies import BatchStrategy, array_digest, scalar_items
+
+__all__ = ["ConcatCSRStrategy", "PadStrategy",
+           "make_batched_longformer_program"]
+
+
+def make_batched_longformer_program():
+    """Length-aware batched Longformer sliding-window attention.
+
+    The pad-and-mask variant of ``workloads.longformer.make_program``:
+    Q/K/V come padded to ``(bsz, nmax, d)`` with true sequence lengths
+    in ``lens``; attention for batch element ``b`` only reads and writes
+    tokens ``< lens[b]``, so rows past the true length stay zero.
+    """
+    import repro as ft
+
+    @ft.transform
+    def longformer_batched(
+            q: ft.Tensor[("b", "nmax", "d"), "f32", "input"],
+            k: ft.Tensor[("b", "nmax", "d"), "f32", "input"],
+            v: ft.Tensor[("b", "nmax", "d"), "f32", "input"],
+            lens: ft.Tensor[("b",), "i32", "input"],
+            w: ft.Size):
+        y = ft.zeros((q.shape(0), q.shape(1), q.shape(2)), "f32")
+        for bb in range(q.shape(0)):
+            for i in range(lens[bb]):
+                dot = ft.empty((2 * w + 1,), "f32")
+                for j in range(-w, w + 1):
+                    if i + j >= 0 and i + j < lens[bb]:
+                        dot[j + w] = 0.0
+                        for p in range(q.shape(2)):
+                            dot[j + w] += q[bb, i, p] * k[bb, i + j, p]
+                    else:
+                        dot[j + w] = -float("inf")
+                scale = ft.sqrt(1.0 * q.shape(2))
+                mx = -float("inf")
+                for j in range(2 * w + 1):
+                    mx = ft.max(mx, dot[j] / scale)
+                attn = ft.empty((2 * w + 1,), "f32")
+                s = 0.0
+                for j in range(2 * w + 1):
+                    attn[j] = ft.exp(dot[j] / scale - mx)
+                    s += attn[j]
+                for j in range(-w, w + 1):
+                    if i + j >= 0 and i + j < lens[bb]:
+                        for p in range(q.shape(2)):
+                            y[bb, i, p] += attn[j + w] / s * v[bb, i + j, p]
+        return y
+
+    return longformer_batched
+
+
+class PadStrategy(BatchStrategy):
+    """Pad-and-mask ragged batching over one variable-extent axis.
+
+    ``ragged_params`` are the positions of arrays whose ``axis`` extent
+    varies per request (they must share it); the rest of each shape is
+    part of the bucket key. The endpoint supplies the length-aware
+    batched program (``endpoint.pad_func()``), which takes the padded
+    ragged arrays, then the non-ragged arrays, then the ``lens`` vector.
+    """
+
+    name = "pad"
+
+    def __init__(self, ragged_params: Sequence[int] = (0, 1, 2),
+                 axis: int = 0, pad_to: int = 16):
+        self.ragged_params = tuple(ragged_params)
+        self.axis = axis
+        self.pad_to = max(1, int(pad_to))
+
+    def bucket_key(self, arrays, scalars):
+        shapes = []
+        for i, a in enumerate(arrays):
+            shape = list(a.shape)
+            if i in self.ragged_params:
+                shape[self.axis] = -1  # the ragged extent: free
+            shapes.append((tuple(shape), a.dtype))
+        return (self.name, tuple(shapes), scalar_items(scalars))
+
+    def _len_of(self, request) -> int:
+        return int(request.arrays[self.ragged_params[0]].shape[self.axis])
+
+    def collate(self, endpoint, requests):
+        lens = [self._len_of(r) for r in requests]
+        nmax = -(-max(lens) // self.pad_to) * self.pad_to
+        n_args = len(requests[0].arrays)
+        padded, pad_elements = [], 0
+        for i in range(n_args):
+            arrs = [r.arrays[i] for r in requests]
+            if i not in self.ragged_params:
+                padded.append(np.stack(arrs))
+                continue
+            first = arrs[0]
+            shape = list(first.shape)
+            shape[self.axis] = nmax
+            out = np.zeros((len(arrs),) + tuple(shape), first.dtype)
+            for b, a in enumerate(arrs):
+                sl = [b] + [slice(None)] * first.ndim
+                sl[1 + self.axis] = slice(0, a.shape[self.axis])
+                out[tuple(sl)] = a
+                pad_elements += out[b].size - a.size
+            padded.append(out)
+        padded.append(np.asarray(lens, np.int32))
+        return endpoint.pad_func(), padded, \
+            dict(requests[0].scalars), pad_elements
+
+    def split(self, endpoint, outs, requests):
+        outs = self._outs_tuple(outs)
+        parts = []
+        for b, r in enumerate(requests):
+            n = self._len_of(r)
+            sl = [slice(None)] * (outs[0].ndim - 1)
+            sl[self.axis] = slice(0, n)
+            parts.append(tuple(o[b][tuple(sl)] for o in outs))
+        return self._per_request(parts)
+
+
+class ConcatCSRStrategy(BatchStrategy):
+    """Concat-with-offsets ragged batching for CSR-graph requests.
+
+    Parameter positions: ``indptr_param`` / ``indices_param`` are the
+    CSR arrays, ``node_params`` are per-node arrays concatenated along
+    axis 0, and every other parameter is *shared* (model weights): its
+    content digest joins the bucket key so requests against different
+    weights never merge, and one copy is passed through. The merged
+    batch is a plain disjoint-union graph executed by the endpoint's
+    ordinary unbatched program.
+    """
+
+    name = "concat"
+
+    def __init__(self, indptr_param: int = 0, indices_param: int = 1,
+                 node_params: Sequence[int] = (2,)):
+        self.indptr_param = indptr_param
+        self.indices_param = indices_param
+        self.node_params = tuple(node_params)
+
+    def _shared(self, n_args: int) -> List[int]:
+        special = {self.indptr_param, self.indices_param,
+                   *self.node_params}
+        return [i for i in range(n_args) if i not in special]
+
+    def bucket_key(self, arrays, scalars):
+        parts = []
+        for i, a in enumerate(arrays):
+            if i == self.indptr_param or i == self.indices_param:
+                parts.append(("csr", a.dtype))
+            elif i in self.node_params:
+                parts.append((tuple(a.shape[1:]), a.dtype))
+            else:
+                parts.append(("shared", array_digest(a)))
+        return (self.name, tuple(parts), scalar_items(scalars))
+
+    def _node_counts(self, requests) -> List[int]:
+        return [int(r.arrays[self.indptr_param].shape[0]) - 1
+                for r in requests]
+
+    def collate(self, endpoint, requests):
+        n_args = len(requests[0].arrays)
+        nodes = self._node_counts(requests)
+        merged: List[object] = [None] * n_args
+        indptrs = [np.asarray(r.arrays[self.indptr_param])
+                   for r in requests]
+        indices = [np.asarray(r.arrays[self.indices_param])
+                   for r in requests]
+        edge_off = np.cumsum([0] + [len(ix) for ix in indices])
+        node_off = np.cumsum([0] + nodes)
+        merged[self.indptr_param] = np.concatenate(
+            [indptrs[0][:1]] + [p[1:] + off for p, off in
+                                zip(indptrs, edge_off[:-1])]
+        ).astype(indptrs[0].dtype)
+        merged[self.indices_param] = np.concatenate(
+            [ix + off for ix, off in zip(indices, node_off[:-1])]
+        ).astype(indices[0].dtype)
+        for i in self.node_params:
+            merged[i] = np.concatenate([r.arrays[i] for r in requests])
+        for i in self._shared(n_args):
+            merged[i] = requests[0].arrays[i]
+        return endpoint.base_func(), merged, \
+            dict(requests[0].scalars), 0
+
+    def split(self, endpoint, outs, requests):
+        outs = self._outs_tuple(outs)
+        node_off = np.cumsum([0] + self._node_counts(requests))
+        parts = [tuple(o[node_off[b]:node_off[b + 1]] for o in outs)
+                 for b in range(len(requests))]
+        return self._per_request(parts)

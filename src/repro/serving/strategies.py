@@ -1,0 +1,96 @@
+"""Batching strategies: how compatible requests coalesce into one call.
+
+A strategy answers three questions for its endpoint:
+
+- ``bucket_key(arrays, scalars)`` — which requests may share a batch
+  (requests whose keys are equal are *compatible*: one compiled call
+  can serve them together);
+- ``collate(endpoint, requests)`` — fold the requests of one batch into
+  a single ``(func, arrays, scalars, pad_elements)`` call description;
+- ``split(endpoint, outs, requests)`` — slice the batched call's
+  outputs back into one result per request.
+
+:class:`StackStrategy` is the generic dense case: identical shapes are
+stacked along the new leading axis of the ``batch_axis_prepend``
+variant. The ragged strategies for variable-length and variable-size
+requests live in ``repro.serving.ragged``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BatchStrategy", "StackStrategy", "array_digest",
+           "scalar_items"]
+
+
+def scalar_items(scalars: Dict[str, object]) -> tuple:
+    """Scalars as a canonical hashable tuple (bucket-key component)."""
+    if not scalars:
+        return ()
+    return tuple(sorted((k, int(v)) for k, v in scalars.items()))
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """A short content fingerprint, for bucket keys that must separate
+    requests by array *contents* (e.g. different model weights)."""
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(arr.tobytes(), digest_size=8)
+    h.update(str(arr.shape).encode())
+    return h.hexdigest()
+
+
+class BatchStrategy:
+    """Interface; see module docstring. ``name`` tags bucket keys."""
+
+    name = "base"
+
+    def bucket_key(self, arrays: Sequence[np.ndarray],
+                   scalars: Dict[str, object]) -> tuple:
+        raise NotImplementedError
+
+    def collate(self, endpoint, requests) -> Tuple[object, list, dict, int]:
+        """-> (func, arrays, scalars, pad_elements) for one batched call."""
+        raise NotImplementedError
+
+    def split(self, endpoint, outs, requests) -> List[object]:
+        """-> one output (array or tuple of arrays) per request."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _outs_tuple(outs) -> tuple:
+        return outs if isinstance(outs, tuple) else (outs,)
+
+    @staticmethod
+    def _per_request(parts: List[tuple]) -> List[object]:
+        return [p[0] if len(p) == 1 else p for p in parts]
+
+
+class StackStrategy(BatchStrategy):
+    """Dense batching: equal-shape requests stack along a new leading
+    axis and run through the endpoint's ``batch_axis_prepend`` variant.
+    """
+
+    name = "stack"
+
+    def bucket_key(self, arrays, scalars):
+        # dtype objects hash/compare by identity-equivalence and are
+        # cheaper to fetch than .str on this per-request hot path
+        return (self.name,
+                tuple((a.shape, a.dtype) for a in arrays),
+                scalar_items(scalars))
+
+    def collate(self, endpoint, requests):
+        n_args = len(requests[0].arrays)
+        stacked = [np.stack([r.arrays[i] for r in requests])
+                   for i in range(n_args)]
+        return endpoint.batched_func(), stacked, \
+            dict(requests[0].scalars), 0
+
+    def split(self, endpoint, outs, requests):
+        outs = self._outs_tuple(outs)
+        parts = [tuple(o[i] for o in outs) for i in range(len(requests))]
+        return self._per_request(parts)

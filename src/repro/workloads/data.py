@@ -9,7 +9,7 @@ parameter so benchmarks can sweep.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -102,6 +102,61 @@ def projected_triangles(n_faces: int, image_size: int, seed: int = 0
     offsets = rng.uniform(-0.15, 0.15, (n_faces, 3, 2))
     verts = (centers + offsets).astype(np.float32)
     return {"verts": verts, "image_size": image_size}
+
+
+def ragged_token_sequences(n_requests: int, feat_len: int = 16,
+                           w: int = 8, min_len: int = 32,
+                           max_len: int = 128, seed: int = 0
+                           ) -> List[Dict[str, np.ndarray]]:
+    """Variable-length Longformer request instances (serving workload).
+
+    Returns one ``make_data``-style dict per request — Q/K/V of shape
+    ``(n_i, feat_len)`` with ``n_i`` drawn uniformly from
+    ``[min_len, max_len]`` — deterministically for a fixed seed, so
+    tests, benchmarks and the serving load generator agree on the exact
+    traffic mix.
+    """
+    rng = np.random.default_rng(seed)
+    lens = rng.integers(min_len, max_len + 1, n_requests)
+    out = []
+    for i, n in enumerate(lens):
+        data = token_sequence(int(n), feat_len, seed=seed + 1000 + i)
+        data["w"] = w
+        out.append(data)
+    return out
+
+
+def ragged_graphs(n_requests: int, feats: int = 8, out_feats: int = 8,
+                  min_nodes: int = 24, max_nodes: int = 96,
+                  avg_degree: int = 4, seed: int = 0
+                  ) -> List[Dict[str, np.ndarray]]:
+    """Variable-size GAT graph instances (serving workload).
+
+    One ``gat.make_data``-style dict per request — a CSR graph whose
+    node count is drawn uniformly from ``[min_nodes, max_nodes]`` plus
+    per-request node features. The attention weights (``wmat``,
+    ``att_s``, ``att_d``) are *shared* across all requests, as they
+    would be when many clients query one deployed model — which is what
+    lets a serving batcher concatenate the graphs block-diagonally into
+    one disjoint-union call. Deterministic for a fixed seed.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(min_nodes, max_nodes + 1, n_requests)
+    wrng = np.random.default_rng(seed + 1)
+    wmat = (wrng.standard_normal((feats, out_feats)) /
+            np.sqrt(feats)).astype(np.float32)
+    att_s = wrng.standard_normal(out_feats).astype(np.float32)
+    att_d = wrng.standard_normal(out_feats).astype(np.float32)
+    out = []
+    for i, n in enumerate(sizes):
+        sub_seed = seed + 2000 + i
+        data = random_graph_csr(int(n), avg_degree, seed=sub_seed)
+        sub_rng = np.random.default_rng(sub_seed + 2)
+        data["h"] = sub_rng.standard_normal((int(n), feats)) \
+            .astype(np.float32)
+        data["wmat"], data["att_s"], data["att_d"] = wmat, att_s, att_d
+        out.append(data)
+    return out
 
 
 def pixel_grid(image_size: int) -> np.ndarray:

@@ -1,0 +1,388 @@
+"""Tests for the serving subsystem (``repro.serving``):
+
+- batch-axis prepending and every batching strategy produce the same
+  answers as per-request serial execution on all four workloads;
+- fault injection (``REPRO_SERVE_FAULT``) proves crashes and hangs cost
+  exactly the affected batch — no request is dropped or run twice;
+- admission control rejects over-quota and over-capacity submissions
+  synchronously;
+- batch composition is deterministic under a fixed clock.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import metrics
+from repro.serving import (BatchingUnsupported, Server,
+                           batch_axis_prepend, default_endpoints)
+from repro.workloads import gat, longformer, softras, subdivnet
+
+WORKLOADS = ("subdivnet", "longformer", "softras", "gat")
+
+
+def reference_for(name, arrays, scalars):
+    if name == "subdivnet":
+        return subdivnet.reference(
+            {"adj": arrays[0], "e": arrays[1], "w": arrays[2]})
+    if name == "longformer":
+        return longformer.reference(
+            {"q": arrays[0], "k": arrays[1], "v": arrays[2],
+             "w": scalars["w"]})
+    if name == "softras":
+        return softras.reference({"verts": arrays[0], "px": arrays[1]})
+    return gat.reference(
+        {"indptr": arrays[0], "indices": arrays[1], "h": arrays[2],
+         "wmat": arrays[3], "att_s": arrays[4], "att_d": arrays[5]})
+
+
+@pytest.fixture(autouse=True)
+def _fresh_serving_stats():
+    metrics.reset_serving_stats()
+    yield
+    metrics.reset_serving_stats()
+
+
+# ---------------------------------------------------------------------------
+# batching correctness
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_batched_results_match_serial(name):
+    eps = default_endpoints(backend="pycode", names=[name])
+    traffic = eps[name].gen_requests(6, seed=11)
+    with Server(eps, mode="thread", workers=2, max_batch=3,
+                max_wait_s=0.01) as srv:
+        pendings = [srv.submit(name, a, s) for a, s in traffic]
+        for (arrays, scalars), p in zip(traffic, pendings):
+            resp = p.result(timeout=120)
+            assert resp.ok, (resp.status, resp.error)
+            ref = reference_for(name, arrays, scalars)
+            np.testing.assert_allclose(resp.value, ref, rtol=1e-3,
+                                       atol=1e-4)
+    st = metrics.serving_stats()
+    assert st["admitted"] == 6
+    assert st["completed"] == 6
+    assert st["batches"] >= 2  # really coalesced, not one-by-one
+
+
+def test_stack_batching_actually_batches():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(4, seed=0)
+    with Server(eps, mode="thread", workers=1, max_batch=4,
+                max_wait_s=0.2) as srv:
+        responses = [p.result(timeout=120) for p in
+                     srv.submit_many("subdivnet", traffic)]
+    assert {r.batch_size for r in responses} == {4}
+    assert len({r.batch_id for r in responses}) == 1
+
+
+def test_ragged_longformer_pad_and_mask():
+    """Variable-length sequences batch via pad-and-mask and match the
+    per-request reference exactly (padding never leaks in)."""
+    eps = default_endpoints(backend="pycode", names=["longformer"])
+    traffic = eps["longformer"].gen_requests(5, seed=7)
+    lens = {a[0].shape[0] for a, _ in traffic}
+    assert len(lens) > 1  # genuinely ragged mix
+    with Server(eps, mode="thread", workers=1, max_batch=5,
+                max_wait_s=0.2) as srv:
+        responses = [p.result(timeout=120) for p in
+                     srv.submit_many("longformer", traffic)]
+    assert len({r.batch_id for r in responses}) == 1  # one ragged batch
+    for (arrays, scalars), resp in zip(traffic, responses):
+        assert resp.ok, resp.error
+        assert resp.value.shape == arrays[0].shape  # true length back
+        np.testing.assert_allclose(
+            resp.value, reference_for("longformer", arrays, scalars),
+            rtol=1e-3, atol=1e-4)
+    assert metrics.serving_stats()["pad_elements"] > 0
+
+
+def test_ragged_gat_concat_with_offsets():
+    """Variable-size graphs batch as one disjoint union through the
+    unbatched program; outputs split back by node offsets."""
+    eps = default_endpoints(backend="pycode", names=["gat"])
+    traffic = eps["gat"].gen_requests(5, seed=9)
+    sizes = {a[0].shape[0] for a, _ in traffic}
+    assert len(sizes) > 1  # genuinely ragged mix
+    with Server(eps, mode="thread", workers=1, max_batch=5,
+                max_wait_s=0.2) as srv:
+        responses = [p.result(timeout=120) for p in
+                     srv.submit_many("gat", traffic)]
+    assert len({r.batch_id for r in responses}) == 1
+    for (arrays, scalars), resp in zip(traffic, responses):
+        assert resp.ok, resp.error
+        assert resp.value.shape[0] == arrays[0].shape[0] - 1
+        np.testing.assert_allclose(
+            resp.value, reference_for("gat", arrays, scalars),
+            rtol=1e-3, atol=1e-4)
+    # concat adds no padding
+    assert metrics.serving_stats()["pad_elements"] == 0
+
+
+def test_gat_different_weights_never_share_a_bucket():
+    eps = default_endpoints(backend="pycode", names=["gat"])
+    ep = eps["gat"]
+    (arrays, scalars), = ep.gen_requests(1, seed=0)
+    other = list(arrays)
+    other[3] = arrays[3] + 1.0  # different model weights
+    key_a = ep.strategy.bucket_key(arrays, scalars)
+    key_b = ep.strategy.bucket_key(other, scalars)
+    assert key_a != key_b
+
+
+def test_batch_axis_prepend_memoized_and_guarded():
+    import repro as ft
+    from repro.ir import For, Func
+
+    @ft.transform
+    def prog(x: ft.Tensor[("n",), "f32", "input"]):
+        y = ft.zeros((x.shape(0),), "f32")
+        for i in range(x.shape(0)):
+            y[i] = x[i] * 2.0
+        return y
+
+    batched = batch_axis_prepend(prog)
+    assert batched.name.endswith("_batched")
+    # memoized: same Func object on repeat calls (keeps build caches hot)
+    assert batch_axis_prepend(prog) is batched
+    # the new batch-size scalar is threaded through the driver
+    assert len(batched.scalar_params) == len(prog.func.scalar_params) + 1
+
+    # an interface tensor whose VarDef hides under a loop cannot be
+    # hoisted; the transform must refuse, not mis-batch
+    func = prog.func
+    bad = Func(func.name + "_nested", list(func.params),
+               list(func.returns), For("ii", 0, 1, func.body),
+               scalar_params=list(func.scalar_params))
+    with pytest.raises(BatchingUnsupported):
+        batch_axis_prepend(bad)
+
+
+# ---------------------------------------------------------------------------
+# fault injection: crashes and hangs cost one batch, never a request
+# ---------------------------------------------------------------------------
+
+def test_crash_isolated_to_failing_endpoint(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_FAULT", "crash:gat")
+    eps = default_endpoints(backend="pycode",
+                            names=["gat", "subdivnet"])
+    with Server(eps, mode="process", workers=2, max_batch=4,
+                max_wait_s=0.01) as srv:
+        gps = [srv.submit("gat", a, s) for a, s in
+               eps["gat"].gen_requests(4, seed=3)]
+        sps = [srv.submit("subdivnet", a, s) for a, s in
+               eps["subdivnet"].gen_requests(4, seed=3)]
+        gres = [p.result(timeout=120) for p in gps]
+        sres = [p.result(timeout=120) for p in sps]
+    # every request resolved exactly once; the crash cost the gat batch
+    assert all(r.status == "failed" for r in gres)
+    assert all(r.ok for r in sres)
+    st = metrics.serving_stats()
+    assert st["admitted"] == 8
+    assert st["completed"] + st["failed"] == 8  # none dropped
+    assert st["worker_respawns"] >= 1
+
+
+def test_hang_times_out_and_respawns(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_FAULT", "hang:gat")
+    eps = default_endpoints(backend="pycode", names=["gat"])
+    with Server(eps, mode="process", workers=1, max_batch=4,
+                max_wait_s=0.01, timeout_s=1.0) as srv:
+        pendings = [srv.submit("gat", a, s) for a, s in
+                    eps["gat"].gen_requests(2, seed=3)]
+        responses = [p.result(timeout=120) for p in pendings]
+    assert all(r.status == "timeout" for r in responses)
+    st = metrics.serving_stats()
+    assert st["timed_out"] == 2
+    assert st["worker_respawns"] >= 1
+
+
+def test_thread_mode_fault_degrades_to_failure(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_FAULT", "crash:subdivnet")
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    with Server(eps, mode="thread", workers=1, max_batch=2,
+                max_wait_s=0.01) as srv:
+        pendings = [srv.submit("subdivnet", a, s) for a, s in
+                    eps["subdivnet"].gen_requests(2, seed=0)]
+        responses = [p.result(timeout=120) for p in pendings]
+    assert all(r.status == "failed" for r in responses)
+    assert all("injected" in r.error for r in responses)
+
+
+def test_no_request_lost_or_double_run_under_faults(monkeypatch):
+    """Mixed healthy/crashing traffic: every admitted request resolves
+    exactly once and belongs to exactly one executed batch."""
+    monkeypatch.setenv("REPRO_SERVE_FAULT", "crash:longformer")
+    eps = default_endpoints(backend="pycode",
+                            names=["longformer", "subdivnet"])
+    with Server(eps, mode="process", workers=2, max_batch=3,
+                max_wait_s=0.01) as srv:
+        pendings = []
+        for name in ("longformer", "subdivnet"):
+            pendings += [(name, srv.submit(name, a, s)) for a, s in
+                         eps[name].gen_requests(6, seed=5)]
+        responses = [(n, p.result(timeout=120)) for n, p in pendings]
+    assert len(responses) == 12
+    assert all(p.done() for _n, p in pendings)
+    # each request appears in exactly one batch (ids unique per request)
+    seen = [r.request_id for _n, r in responses]
+    assert len(set(seen)) == len(seen)
+    st = metrics.serving_stats()
+    assert st["completed"] + st["failed"] + st["timed_out"] == 12
+    assert st["batched_requests"] == 12  # each ran in exactly one batch
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+def test_quota_rejection_per_tenant():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(4, seed=0)
+    srv = Server(eps, mode="thread", workers=1, max_batch=4,
+                 max_wait_s=60.0, quotas={"small": 2}, start=False)
+    out = [srv.submit("subdivnet", a, s, tenant="small")
+           for a, s in traffic]
+    rejected = [p.result(timeout=1) for p in out[2:]]
+    assert all(r.status == "rejected" for r in rejected)
+    assert all("quota" in r.error for r in rejected)
+    # other tenants are unaffected
+    ok = srv.submit("subdivnet", *traffic[0], tenant="big")
+    assert not ok.done()
+    while srv.poll(force=True):
+        pass
+    assert ok.result(timeout=1).ok
+    assert [p.result(timeout=1).ok for p in out[:2]] == [True, True]
+    st = metrics.serving_stats()
+    assert st["rejected_quota"] == 2
+    assert st["per_tenant"]["small"]["rejected"] == 2
+    srv.close()
+
+
+def test_queue_backpressure_rejection():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(5, seed=0)
+    srv = Server(eps, mode="thread", workers=1, max_batch=8,
+                 max_wait_s=60.0, queue_limit=3, start=False)
+    out = [srv.submit("subdivnet", a, s) for a, s in traffic]
+    statuses = ["rejected" if p.done() else "queued" for p in out]
+    assert statuses == ["queued"] * 3 + ["rejected"] * 2
+    assert metrics.serving_stats()["rejected_queue"] == 2
+    while srv.poll(force=True):
+        pass
+    assert all(p.result(timeout=1).ok for p in out[:3])
+    srv.close()
+
+
+def test_unknown_endpoint_rejected_synchronously():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    with Server(eps, mode="thread", workers=1, start=False) as srv:
+        p = srv.submit("nope", [np.zeros(3, np.float32)])
+        assert p.done()
+        assert p.result().status == "rejected"
+
+
+# ---------------------------------------------------------------------------
+# determinism under a fixed clock
+# ---------------------------------------------------------------------------
+
+def _fixed_clock_run(eps, traffic):
+    """Manual-mode run under a controlled clock; returns the batch
+    composition as request-submission-index -> (batch_id, batch_size)."""
+    t = [0.0]
+    srv = Server(eps, mode="thread", workers=1, max_batch=3,
+                 max_wait_s=0.010, clock=lambda: t[0], start=False)
+    pendings = []
+    for i, (arrays, scalars) in enumerate(traffic):
+        pendings.append(srv.submit("subdivnet", arrays, scalars))
+        t[0] += 0.004  # 4ms between arrivals; window 10ms, batch cap 3
+        srv.poll()
+    while srv.poll(force=True):
+        pass
+    srv.close()
+    out = [p.result(timeout=1) for p in pendings]
+    assert all(r.ok for r in out)
+    return [(r.batch_id, r.batch_size) for r in out]
+
+
+def test_batch_composition_deterministic_under_fixed_clock():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(8, seed=2)
+    first = _fixed_clock_run(eps, traffic)
+    second = _fixed_clock_run(eps, traffic)
+    assert first == second
+    # the window actually splits the stream: several distinct batches
+    assert len({b for b, _s in first}) >= 2
+
+
+def test_deadline_expired_in_queue_times_out():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(1, seed=0)
+    t = [0.0]
+    srv = Server(eps, mode="thread", workers=1, max_wait_s=0.01,
+                 timeout_s=0.5, clock=lambda: t[0], start=False)
+    p = srv.submit("subdivnet", *traffic[0])
+    t[0] = 1.0  # deadline long gone before any flush
+    srv.poll(force=True)
+    r = p.result(timeout=1)
+    assert r.status == "timeout"
+    assert metrics.serving_stats()["timed_out"] == 1
+    srv.close()
+
+
+# ---------------------------------------------------------------------------
+# concurrency: parallel submitters against one server
+# ---------------------------------------------------------------------------
+
+def test_concurrent_submitters_all_served():
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(12, seed=4)
+    results = {}
+    with Server(eps, mode="thread", workers=2, max_batch=4,
+                max_wait_s=0.005) as srv:
+        def client(cid):
+            ps = [srv.submit("subdivnet", a, s,
+                             tenant=f"client{cid}")
+                  for a, s in traffic[cid * 4:(cid + 1) * 4]]
+            results[cid] = [p.result(timeout=120) for p in ps]
+
+        threads = [threading.Thread(target=client, args=(cid,))
+                   for cid in range(3)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+    for cid, rs in results.items():
+        assert len(rs) == 4
+        for (arrays, scalars), r in zip(
+                traffic[cid * 4:(cid + 1) * 4], rs):
+            assert r.ok, r.error
+            np.testing.assert_allclose(
+                r.value, reference_for("subdivnet", arrays, scalars),
+                rtol=1e-3, atol=1e-4)
+    st = metrics.serving_stats()
+    assert sorted(st["per_tenant"]) == ["client0", "client1", "client2"]
+
+
+def test_asubmit_resolves_in_event_loop():
+    import asyncio
+
+    eps = default_endpoints(backend="pycode", names=["subdivnet"])
+    traffic = eps["subdivnet"].gen_requests(4, seed=5)
+
+    async def drive(srv):
+        resps = await asyncio.gather(*[
+            srv.asubmit("subdivnet", a, s, tenant="async")
+            for a, s in traffic])
+        return resps
+
+    with Server(eps, mode="thread", workers=1, max_batch=4,
+                max_wait_s=0.005) as srv:
+        resps = asyncio.run(drive(srv))
+    for (arrays, scalars), r in zip(traffic, resps):
+        assert r.ok, r.error
+        np.testing.assert_allclose(
+            r.value, reference_for("subdivnet", arrays, scalars),
+            rtol=1e-3, atol=1e-4)
